@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: edit distance, tokenization, serialization, program synthesis,
+// aggregation, join and neural forward/backward steps.
+#include <benchmark/benchmark.h>
+
+#include "core/aggregator.h"
+#include "core/joiner.h"
+#include "models/alignment.h"
+#include "nn/trainer.h"
+#include "text/serializer.h"
+#include "transform/sampler.h"
+#include "util/edit_distance.h"
+
+namespace dtt {
+namespace {
+
+std::string MakeString(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  SourceTextOptions opts;
+  opts.min_len = static_cast<int>(len);
+  opts.max_len = static_cast<int>(len);
+  return RandomSourceText(opts, &rng);
+}
+
+void BM_EditDistance(benchmark::State& state) {
+  std::string a = MakeString(static_cast<size_t>(state.range(0)), 1);
+  std::string b = MakeString(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EditDistance)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  std::string a = MakeString(static_cast<size_t>(state.range(0)), 1);
+  std::string b = a;
+  b[0] = '!';  // distance 1, bound 4 -> narrow band
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedEditDistance(a, b, 4));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BoundedEditDistance)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  ByteTokenizer tokenizer;
+  std::string s = MakeString(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Encode(s, true));
+  }
+}
+BENCHMARK(BM_TokenizerEncode)->Range(16, 1024);
+
+void BM_SerializePrompt(benchmark::State& state) {
+  Serializer serializer;
+  Prompt p;
+  p.examples = {{MakeString(20, 4), MakeString(10, 5)},
+                {MakeString(20, 6), MakeString(10, 7)}};
+  p.source = MakeString(20, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serializer.EncodePrompt(p));
+  }
+}
+BENCHMARK(BM_SerializePrompt);
+
+void BM_SynthesizePrograms(benchmark::State& state) {
+  induction::InductionConfig cfg;
+  // A realistic name-to-userid example at the requested source length.
+  std::string src = MakeString(static_cast<size_t>(state.range(0)), 9);
+  ExamplePair ex{src, src.substr(0, std::min<size_t>(6, src.size()))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(induction::SynthesizePrograms(ex, cfg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SynthesizePrograms)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_Aggregate(benchmark::State& state) {
+  Aggregator agg;
+  std::vector<std::string> votes;
+  Rng rng(10);
+  for (int i = 0; i < state.range(0); ++i) {
+    votes.push_back("candidate-" + std::to_string(rng.NextBounded(3)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.Aggregate(votes));
+  }
+}
+BENCHMARK(BM_Aggregate)->Range(5, 100);
+
+void BM_Join(benchmark::State& state) {
+  EditDistanceJoiner joiner;
+  std::vector<std::string> preds, targets;
+  for (int i = 0; i < state.range(0); ++i) {
+    preds.push_back(MakeString(16, 100 + static_cast<uint64_t>(i)));
+    targets.push_back(MakeString(16, 200 + static_cast<uint64_t>(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(joiner.Join(preds, targets));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Join)->Range(8, 128)->Complexity(benchmark::oNSquared);
+
+nn::TransformerConfig BenchConfig() {
+  nn::TransformerConfig cfg;
+  cfg.dim = 48;
+  cfg.num_heads = 4;
+  cfg.ff_hidden = 96;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 160;
+  return cfg;
+}
+
+void BM_TransformerEncode(benchmark::State& state) {
+  Rng rng(11);
+  nn::Transformer model(BenchConfig(), &rng);
+  std::vector<int> ids(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Encode(ids));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TransformerEncode)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_TrainStep(benchmark::State& state) {
+  Rng rng(12);
+  nn::Transformer model(BenchConfig(), &rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = 160;
+  nn::TrainerOptions topts;
+  nn::Seq2SeqTrainer trainer(&model, Serializer(sopts), topts);
+  TrainingInstance inst;
+  inst.context = {{"abc-def", "DEF"}, {"ghi-jkl", "JKL"}};
+  inst.input_source = "mno-pqr";
+  inst.label = "PQR";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.InstanceLoss(inst, /*backprop=*/true));
+    trainer.optimizer().Step();
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+}  // namespace
+}  // namespace dtt

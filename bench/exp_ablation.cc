@@ -1,0 +1,82 @@
+// Experiment E9 — ablations of the design choices DESIGN.md §4 calls out:
+//   1. aggregation (n=1 vs n=5 trials, Eq. 3-4);
+//   2. context size k (1 vs 2 vs 3 examples per prompt, §4.1);
+//   3. reverse/replace generalization in the model (§5.5's "not limited to
+//      training units" claim);
+//   4. edit-distance join vs exact-match join (Eq. 5).
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "models/pattern_induction.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 20248;
+
+std::unique_ptr<JoinMethod> DttVariant(const std::string& name,
+                                       PatternInductionOptions mopts,
+                                       int trials, int k,
+                                       JoinerOptions joiner = {}) {
+  mopts.kb = KnowledgeBase::Builtin()->Subsample(kDttKbCoverage, mopts.seed);
+  PipelineOptions popts;
+  popts.decomposer.num_trials = trials;
+  popts.decomposer.context_size = k;
+  return std::make_unique<DttJoinMethod>(
+      name,
+      std::vector<std::shared_ptr<TextToTextModel>>{
+          std::make_shared<PatternInductionModel>(std::move(mopts))},
+      popts, joiner);
+}
+
+int Main() {
+  const double scale = RowScaleFromEnv(0.25);
+  std::printf("DTT reproduction — ablation studies\n");
+  std::printf("row scale: %.2f\n", scale);
+
+  std::vector<std::unique_ptr<JoinMethod>> variants;
+  variants.push_back(DttVariant("full (n=5,k=2)", {}, 5, 2));
+  variants.push_back(DttVariant("no-aggregation (n=1)", {}, 1, 2));
+  variants.push_back(DttVariant("k=1 context", {}, 5, 1));
+  variants.push_back(DttVariant("k=3 context", {}, 5, 3));
+  {
+    PatternInductionOptions no_gen;
+    no_gen.detect_reverse = false;
+    no_gen.detect_replace = false;
+    variants.push_back(
+        DttVariant("no reverse/replace", std::move(no_gen), 5, 2));
+  }
+  {
+    JoinerOptions exact;
+    exact.max_distance_ratio = 1e-9;  // rejects every non-exact match
+    variants.push_back(DttVariant("exact-match join", {}, 5, 2, exact));
+  }
+
+  for (const char* ds_name : {"WT", "Syn", "Syn-RP", "Syn-RV"}) {
+    Dataset ds = MakeDatasetByName(ds_name, kSeed, scale);
+    PrintBanner(std::string("dataset: ") + ds_name);
+    TablePrinter table({"variant", "P", "R", "F1", "ANED"});
+    for (auto& v : variants) {
+      DatasetEval e = EvaluateOnDataset(v.get(), ds, kSeed);
+      table.AddRow({v->name(), TablePrinter::Num(e.join.precision),
+                    TablePrinter::Num(e.join.recall),
+                    TablePrinter::Num(e.join.f1),
+                    TablePrinter::Num(e.pred.aned)});
+      std::fprintf(stderr, "[ablation] %s / %s done\n", ds_name,
+                   v->name().c_str());
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected: removing aggregation hurts under noise/ambiguity; k=1 "
+      "hurts everywhere (ambiguous single example); disabling "
+      "reverse/replace zeroes Syn-RV and Syn-RP; exact-match join hurts "
+      "whenever generations are imperfect (Syn-RV especially).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtt
+
+int main() { return dtt::Main(); }

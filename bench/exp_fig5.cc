@@ -1,0 +1,61 @@
+// Experiment E5 — Figure 5: robustness to noisy input examples. Noise is
+// injected by replacing a fraction of example targets with random text
+// (§5.10); the plot reports the *drop* in F1 relative to the clean run for
+// DTT and CST on WT, SS and Syn.
+#include <cstdio>
+#include <map>
+
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 20244;
+constexpr double kRatios[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+
+int Main() {
+  const double scale = RowScaleFromEnv(0.25);
+  std::printf("DTT reproduction — Figure 5 (robustness to example noise)\n");
+  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+
+  auto dtt = MakeDttMethod();
+  CstJoinMethod cst;
+  std::vector<JoinMethod*> methods = {dtt.get(), &cst};
+
+  for (const char* ds_name : {"WT", "SS", "Syn"}) {
+    Dataset ds = MakeDatasetByName(ds_name, kSeed, scale);
+    PrintBanner(std::string("dataset: ") + ds_name +
+                " (drop in F1 vs noise ratio)");
+    TablePrinter table({"noise", "DTT-F1", "DTT-drop", "CST-F1", "CST-drop"});
+    std::map<std::string, double> baseline;
+    for (double ratio : kRatios) {
+      std::vector<std::string> row = {TablePrinter::Num(ratio, 1)};
+      for (JoinMethod* method : methods) {
+        auto noisy = [ratio](std::vector<ExamplePair>* ex, Rng* rng) {
+          AddExampleNoise(ex, ratio, rng);
+        };
+        DatasetEval e = EvaluateOnDataset(method, ds, kSeed, noisy);
+        if (ratio == 0.0) baseline[method->name()] = e.join.f1;
+        row.push_back(TablePrinter::Num(e.join.f1));
+        row.push_back(
+            TablePrinter::Num(baseline[method->name()] - e.join.f1));
+      }
+      table.AddRow(std::move(row));
+      std::fprintf(stderr, "[fig5] %s noise=%.1f done\n", ds_name, ratio);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check vs paper Fig.5: DTT's drop stays < 0.25 even at noise "
+      "0.7-0.8 and < 0.05 at 0.2; CST degrades faster, especially on SS and "
+      "Syn where bogus transformations survive the textual-similarity "
+      "filter.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtt
+
+int main() { return dtt::Main(); }

@@ -1,0 +1,51 @@
+// Experiment E6 — Figure 6 (a,b): effect of the number of aggregation trials
+// on output quality (ANED) and join F1, on the original datasets and with
+// 60% example noise (suffix "-n" in the paper's legend).
+#include <cstdio>
+
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 20245;
+constexpr int kTrials[] = {2, 3, 4, 5, 6, 8, 10};
+constexpr double kNoiseRatio = 0.6;
+
+int Main() {
+  const double scale = RowScaleFromEnv(0.2);
+  std::printf("DTT reproduction — Figure 6 (trials vs noise)\n");
+  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+
+  for (const char* ds_name : {"WT", "SS", "Syn-RP", "Syn-ST"}) {
+    Dataset ds = MakeDatasetByName(ds_name, kSeed, scale);
+    PrintBanner(std::string("dataset: ") + ds_name);
+    TablePrinter table({"trials", "ANED", "ANED-n(0.6)", "F1", "F1-n(0.6)"});
+    for (int trials : kTrials) {
+      auto method = MakeDttMethod(trials);
+      DatasetEval clean = EvaluateOnDataset(method.get(), ds, kSeed);
+      DatasetEval noisy = EvaluateOnDataset(
+          method.get(), ds, kSeed, [](std::vector<ExamplePair>* ex, Rng* rng) {
+            AddExampleNoise(ex, kNoiseRatio, rng);
+          });
+      table.AddRow({std::to_string(trials), TablePrinter::Num(clean.pred.aned),
+                    TablePrinter::Num(noisy.pred.aned),
+                    TablePrinter::Num(clean.join.f1),
+                    TablePrinter::Num(noisy.join.f1)});
+      std::fprintf(stderr, "[fig6] %s trials=%d done\n", ds_name, trials);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check vs paper Fig.6: on noisy data ANED falls and F1 rises "
+      "with more trials, converging after ~5 trials; clean curves only "
+      "fluctuate slightly.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtt
+
+int main() { return dtt::Main(); }

@@ -1,0 +1,71 @@
+// Experiment E8 — the §5.5 in-text KBWT comparison with DataXFormer:
+// DTT performs on par with (unsupervised) DataXFormer on KB-mediated tables,
+// winning on general-knowledge relations covered by its prior, losing on
+// parametric relations (ISBN->Author, City->Zip).
+#include <cstdio>
+#include <map>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 20247;
+
+int Main() {
+  const double scale = RowScaleFromEnv(1.0);
+  std::printf("DTT reproduction — §5.5 KBWT extra baseline (DataXFormer)\n");
+  std::printf("row scale: %.2f\n", scale);
+
+  Dataset kbwt = MakeDatasetByName("KBWT", kSeed, scale);
+  auto dtt = MakeDttMethod();
+  DataXFormerJoinMethod dxf(
+      KnowledgeBase::Builtin()->Subsample(kDataXFormerKbCoverage, kSeed));
+
+  DatasetEval e_dtt = EvaluateOnDataset(dtt.get(), kbwt, kSeed);
+  DatasetEval e_dxf = EvaluateOnDataset(&dxf, kbwt, kSeed);
+
+  TablePrinter table({"Method", "P", "R", "F1"});
+  table.AddRow({"DTT", TablePrinter::Num(e_dtt.join.precision),
+                TablePrinter::Num(e_dtt.join.recall),
+                TablePrinter::Num(e_dtt.join.f1)});
+  table.AddRow({"DataXFormer", TablePrinter::Num(e_dxf.join.precision),
+                TablePrinter::Num(e_dxf.join.recall),
+                TablePrinter::Num(e_dxf.join.f1)});
+  table.Print();
+
+  // Per-relation-family breakdown: where does each method win?
+  PrintBanner("per-table-family breakdown (mean F1)");
+  TablePrinter fam({"family", "tables", "DTT F1", "DXF F1"});
+  struct Acc {
+    int n = 0;
+    double dtt = 0.0, dxf = 0.0;
+  };
+  std::map<std::string, Acc> families;
+  for (size_t i = 0; i < e_dtt.per_table.size(); ++i) {
+    const std::string& name = e_dtt.per_table[i].table;
+    // kbwt-NN-<family>
+    std::string family = name.substr(name.find('-', 5) + 1);
+    auto& acc = families[family];
+    ++acc.n;
+    acc.dtt += e_dtt.per_table[i].join.f1;
+    acc.dxf += e_dxf.per_table[i].join.f1;
+  }
+  for (const auto& [family, acc] : families) {
+    fam.AddRow({family, std::to_string(acc.n),
+                TablePrinter::Num(acc.dtt / acc.n),
+                TablePrinter::Num(acc.dxf / acc.n)});
+  }
+  fam.Print();
+  std::printf(
+      "\nShape check vs §5.5: overall F1 of the two methods is comparable "
+      "(paper: DTT 0.25 ~ DataXFormer); parametric families (isbn_to_author, "
+      "city_to_zip) are near zero for both.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtt
+
+int main() { return dtt::Main(); }

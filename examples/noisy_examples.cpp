@@ -1,0 +1,44 @@
+// Robust aggregation under noisy examples (§4.3 / §5.10): a fraction of the
+// provided examples carry wrong targets; the decompose-and-vote framework
+// absorbs them. Compare 1-trial vs 7-trial pipelines.
+//
+//   $ ./build/examples/noisy_examples
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/noise.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace dtt;
+
+  // Clean examples of a "extract the last token, upper-cased" mapping...
+  std::vector<ExamplePair> examples = {
+      {"red maple tree", "TREE"},   {"tall oak", "OAK"},
+      {"silver birch", "BIRCH"},    {"weeping willow", "WILLOW"},
+      {"giant sequoia", "SEQUOIA"}, {"white pine", "PINE"},
+      {"black walnut", "WALNUT"},   {"sugar maple", "MAPLE"},
+  };
+  // ... 40% of which get corrupted.
+  Rng noise_rng(3);
+  AddExampleNoise(&examples, 0.4, &noise_rng);
+  std::printf("examples after corruption:\n");
+  for (const auto& ex : examples) {
+    std::printf("  [%s] -> [%s]\n", ex.source.c_str(), ex.target.c_str());
+  }
+
+  std::vector<std::string> sources = {"coastal redwood", "quaking aspen",
+                                      "bur oak"};
+  for (int trials : {1, 7}) {
+    PipelineOptions options;
+    options.decomposer.num_trials = trials;
+    DttPipeline pipeline(MakeDttModel(), options);
+    Rng rng(5);
+    std::printf("\nwith %d trial(s):\n", trials);
+    for (const auto& row : pipeline.TransformAll(sources, examples, &rng)) {
+      std::printf("  %-18s -> %-10s (confidence %.2f)\n", row.source.c_str(),
+                  row.prediction.c_str(), row.confidence);
+    }
+  }
+  return 0;
+}

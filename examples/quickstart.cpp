@@ -1,0 +1,34 @@
+// Quickstart: the §2 running example — map Canadian prime-minister names to
+// user ids from three examples, then transform the rest of the column.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace dtt;
+
+  // The example set E of §2: three (source, target) pairs.
+  std::vector<ExamplePair> examples = {
+      {"Justin Trudeau", "jtrudeau"},
+      {"Stephen Harper", "sharper"},
+      {"Paul Martin", "pmartin"},
+  };
+  // The source column S whose target formatting we want.
+  std::vector<std::string> sources = {"Jean Chretien", "Kim Campbell",
+                                      "Brian Mulroney", "John Turner"};
+
+  // A DTT pipeline: decomposer (2-example contexts, 5 trials per row),
+  // serializer, the reference model backend, and the aggregator.
+  DttPipeline pipeline(MakeDttModel());
+
+  Rng rng(/*seed=*/42);
+  std::printf("%-18s -> prediction (confidence)\n", "source");
+  for (const auto& row : pipeline.TransformAll(sources, examples, &rng)) {
+    std::printf("%-18s -> %-12s (%.2f, %d/%d trials)\n", row.source.c_str(),
+                row.prediction.c_str(), row.confidence, row.support, 5);
+  }
+  return 0;
+}

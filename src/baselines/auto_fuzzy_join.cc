@@ -1,0 +1,115 @@
+#include "baselines/auto_fuzzy_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/edit_distance.h"
+#include "util/string_util.h"
+
+namespace dtt {
+
+AutoFuzzyJoin::AutoFuzzyJoin(AfjOptions options)
+    : options_(std::move(options)) {}
+
+double AutoFuzzyJoin::Similarity(const std::string& a, const std::string& b,
+                                 size_t qgram) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  double sim = QGramJaccard(la, lb, qgram);
+  sim = std::max(sim, EditSimilarity(la, lb));
+  sim = std::max(sim, TokenJaccard(la, lb));
+  // Containment: one side copied verbatim out of the other (the single-unit
+  // substring regime where similarity joins excel, Table 1 Syn-ST).
+  if (!lb.empty() && la.find(lb) != std::string::npos) {
+    double ratio = static_cast<double>(lb.size()) /
+                   static_cast<double>(std::max(la.size(), lb.size()));
+    sim = std::max(sim, 0.45 + 0.5 * ratio);
+  }
+  return sim;
+}
+
+JoinResult AutoFuzzyJoin::Join(
+    const std::vector<std::string>& sources,
+    const std::vector<std::string>& target_values) const {
+  const size_t ns = sources.size();
+  const size_t nt = target_values.size();
+  JoinResult result;
+  result.matches.resize(ns);
+  if (ns == 0 || nt == 0) return result;
+
+  // Full similarity matrix with per-side best and runner-up.
+  std::vector<double> best_sim(ns, -1.0), second_sim(ns, -1.0);
+  std::vector<int> best_j(ns, -1);
+  std::vector<double> t_best_sim(nt, -1.0);
+  std::vector<int> t_best_i(nt, -1);
+  for (size_t i = 0; i < ns; ++i) {
+    for (size_t j = 0; j < nt; ++j) {
+      double s = Similarity(sources[i], target_values[j], options_.qgram);
+      if (s > best_sim[i]) {
+        second_sim[i] = best_sim[i];
+        best_sim[i] = s;
+        best_j[i] = static_cast<int>(j);
+      } else if (s > second_sim[i]) {
+        second_sim[i] = s;
+      }
+      if (s > t_best_sim[j]) {
+        t_best_sim[j] = s;
+        t_best_i[j] = static_cast<int>(i);
+      }
+    }
+  }
+
+  // Auto-tune the acceptance threshold the way Auto-FuzzyJoin does:
+  // maximize recall subject to an (estimated) precision target. The
+  // precision proxy is the fraction of accepted matches that are
+  // unambiguous mutual-best pairs; on confusable data (random strings,
+  // reversed strings) margins shrink, the proxy falls, and the tuner turns
+  // conservative — which is exactly the paper's observed recall profile.
+  auto stats_at = [&](double theta, std::vector<bool>* accept) {
+    size_t n_acc = 0, unambiguous = 0;
+    for (size_t i = 0; i < ns; ++i) {
+      bool ok = best_j[i] >= 0 && best_sim[i] >= theta;
+      if (ok && options_.require_mutual_best) {
+        ok = t_best_i[static_cast<size_t>(best_j[i])] == static_cast<int>(i);
+      }
+      if (accept) (*accept)[i] = ok;
+      if (ok) {
+        ++n_acc;
+        if (best_sim[i] - second_sim[i] >= options_.margin) ++unambiguous;
+      }
+    }
+    double precision =
+        n_acc == 0 ? 0.0
+                   : static_cast<double>(unambiguous) /
+                         static_cast<double>(n_acc);
+    double recall = static_cast<double>(n_acc) / static_cast<double>(ns);
+    return std::make_pair(precision, recall);
+  };
+
+  double best_theta = options_.threshold_grid.back();
+  double best_recall = -1.0;
+  for (double theta : options_.threshold_grid) {
+    auto [precision, recall] = stats_at(theta, nullptr);
+    if (precision >= options_.precision_target && recall > best_recall) {
+      best_recall = recall;
+      best_theta = theta;
+    }
+  }
+  if (best_recall < 0.0) {
+    // No threshold reaches the target: fall back to the most conservative.
+    best_theta = options_.threshold_grid.back();
+  }
+
+  std::vector<bool> accept(ns, false);
+  stats_at(best_theta, &accept);
+  for (size_t i = 0; i < ns; ++i) {
+    if (!accept[i]) continue;
+    result.matches[i].target_index = best_j[i];
+    result.matches[i].edit_distance =
+        EditDistance(sources[i],
+                     target_values[static_cast<size_t>(best_j[i])]);
+  }
+  return result;
+}
+
+}  // namespace dtt

@@ -1,0 +1,51 @@
+#ifndef DTT_BASELINES_AUTO_FUZZY_JOIN_H_
+#define DTT_BASELINES_AUTO_FUZZY_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/joiner.h"
+
+namespace dtt {
+
+/// Options of the Auto-FuzzyJoin baseline (Li et al. [25]).
+struct AfjOptions {
+  /// Threshold grid searched by the auto-tuner; AFJ maximizes recall subject
+  /// to `precision_target` under the estimated precision.
+  std::vector<double> threshold_grid = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  /// Estimated-precision target (the AFJ paper optimizes recall at a high
+  /// precision bar).
+  double precision_target = 0.9;
+  /// Margin to the runner-up similarity above which a match counts as
+  /// unambiguous in the precision estimate.
+  double margin = 0.12;
+  /// Require the match to be a mutual best pair (strong precision proxy).
+  bool require_mutual_best = true;
+  size_t qgram = 2;
+};
+
+/// Auto-FuzzyJoin: an *unsupervised* similarity join — no examples are used.
+/// A similarity ensemble (q-gram Jaccard, edit similarity, token Jaccard on
+/// lower-cased strings) scores all pairs; the acceptance threshold is
+/// self-tuned by maximizing an estimated F-score whose precision proxy is the
+/// fraction of unambiguous mutual-best matches. It excels when source and
+/// target share surface text (Syn-RP/Syn-ST) and collapses when they do not
+/// (Syn-RV), exactly as in Table 1.
+class AutoFuzzyJoin {
+ public:
+  explicit AutoFuzzyJoin(AfjOptions options = {});
+
+  JoinResult Join(const std::vector<std::string>& sources,
+                  const std::vector<std::string>& target_values) const;
+
+  /// The ensemble similarity in [0,1] (exposed for tests).
+  static double Similarity(const std::string& a, const std::string& b,
+                           size_t qgram);
+
+ private:
+  AfjOptions options_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_BASELINES_AUTO_FUZZY_JOIN_H_

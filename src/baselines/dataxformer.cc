@@ -1,0 +1,79 @@
+#include "baselines/dataxformer.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace dtt {
+
+DataXFormerLite::DataXFormerLite(std::shared_ptr<const KnowledgeBase> kb,
+                                 DataXFormerOptions options)
+    : kb_(std::move(kb)), options_(options) {}
+
+std::vector<std::string> DataXFormerLite::Predict(
+    const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples) const {
+  // Candidate relations weighted by example coverage.
+  struct Weighted {
+    const KbRelation* rel;
+    double weight;
+  };
+  std::vector<Weighted> candidates;
+  for (const auto& rel : kb_->relations()) {
+    if (examples.empty()) break;
+    size_t covered = 0;
+    for (const auto& ex : examples) {
+      auto v = rel.Lookup(ex.source);
+      if (v && *v == ex.target) ++covered;
+    }
+    double coverage =
+        static_cast<double>(covered) / static_cast<double>(examples.size());
+    if (coverage >= options_.min_example_coverage) {
+      candidates.push_back({&rel, coverage});
+    }
+  }
+
+  std::vector<std::string> predictions;
+  predictions.reserve(sources.size());
+  for (const auto& s : sources) {
+    // Weighted vote over candidate relations' answers.
+    std::map<std::string, double> votes;
+    for (const auto& c : candidates) {
+      auto v = c.rel->Lookup(s);
+      if (v) votes[*v] += c.weight;
+    }
+    std::string best;
+    double best_w = 0.0;
+    for (const auto& [value, weight] : votes) {
+      if (weight > best_w) {
+        best_w = weight;
+        best = value;
+      }
+    }
+    predictions.push_back(best);
+  }
+  return predictions;
+}
+
+JoinResult DataXFormerLite::Join(
+    const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples,
+    const std::vector<std::string>& target_values) const {
+  auto predictions = Predict(sources, examples);
+  std::unordered_map<std::string, int> index;
+  for (size_t j = 0; j < target_values.size(); ++j) {
+    index.emplace(target_values[j], static_cast<int>(j));
+  }
+  JoinResult result;
+  result.matches.resize(sources.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i].empty()) continue;
+    auto hit = index.find(predictions[i]);
+    if (hit != index.end()) {
+      result.matches[i].target_index = hit->second;
+      result.matches[i].edit_distance = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace dtt

@@ -1,0 +1,47 @@
+#ifndef DTT_BASELINES_DATAXFORMER_H_
+#define DTT_BASELINES_DATAXFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/joiner.h"
+#include "data/knowledge_base.h"
+
+namespace dtt {
+
+/// Options of the DataXFormer-style transformation-discovery baseline
+/// (Abedjan et al. [1]) used as the extra KBWT comparator in §5.5.
+struct DataXFormerOptions {
+  /// A relation participates when it explains at least this fraction of the
+  /// example pairs (coverage-based candidate filtering).
+  double min_example_coverage = 0.6;
+};
+
+/// KB-table transformation discovery: candidate relations are ranked by
+/// example coverage; each covered source row is answered by (weighted)
+/// voting among the matching relations. Optimized for KB-mediated mappings;
+/// has no textual-transformation ability at all.
+class DataXFormerLite {
+ public:
+  DataXFormerLite(std::shared_ptr<const KnowledgeBase> kb,
+                  DataXFormerOptions options = {});
+
+  /// Predicted target per source ("" when no relation covers it).
+  std::vector<std::string> Predict(
+      const std::vector<std::string>& sources,
+      const std::vector<ExamplePair>& examples) const;
+
+  /// Join through exact match of the predictions.
+  JoinResult Join(const std::vector<std::string>& sources,
+                  const std::vector<ExamplePair>& examples,
+                  const std::vector<std::string>& target_values) const;
+
+ private:
+  std::shared_ptr<const KnowledgeBase> kb_;
+  DataXFormerOptions options_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_BASELINES_DATAXFORMER_H_

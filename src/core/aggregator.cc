@@ -1,0 +1,51 @@
+#include "core/aggregator.h"
+
+#include <map>
+
+namespace dtt {
+
+AggregateResult Aggregator::Aggregate(
+    const std::vector<std::string>& candidates) const {
+  AggregateResult result;
+  std::map<std::string, int> votes;
+  for (const auto& c : candidates) {
+    if (c.empty()) continue;  // abstention
+    ++votes[c];
+    ++result.trials;
+  }
+  if (votes.empty()) return result;  // everyone abstained
+  // argmax by (support, -length, lexicographic) — deterministic.
+  const std::string* best = nullptr;
+  int best_votes = 0;
+  for (const auto& [value, count] : votes) {
+    bool better = false;
+    if (count > best_votes) {
+      better = true;
+    } else if (count == best_votes && best != nullptr) {
+      if (value.size() < best->size() ||
+          (value.size() == best->size() && value < *best)) {
+        better = true;
+      }
+    }
+    if (better) {
+      best = &value;
+      best_votes = count;
+    }
+  }
+  result.prediction = *best;
+  result.support = best_votes;
+  result.confidence =
+      static_cast<double>(best_votes) / static_cast<double>(result.trials);
+  return result;
+}
+
+AggregateResult Aggregator::AggregateMulti(
+    const std::vector<std::vector<std::string>>& per_model) const {
+  std::vector<std::string> pooled;
+  for (const auto& trials : per_model) {
+    pooled.insert(pooled.end(), trials.begin(), trials.end());
+  }
+  return Aggregate(pooled);
+}
+
+}  // namespace dtt

@@ -1,0 +1,33 @@
+#ifndef DTT_CORE_AGGREGATOR_H_
+#define DTT_CORE_AGGREGATOR_H_
+
+#include <string>
+#include <vector>
+
+namespace dtt {
+
+/// Aggregation result with the MLE confidence of Eq. 4.
+struct AggregateResult {
+  std::string prediction;   // empty = all trials abstained
+  double confidence = 0.0;  // |o_ij| / |O_i|
+  int support = 0;          // votes for the winning prediction
+  int trials = 0;           // |O_i| (non-abstaining trials)
+};
+
+/// The frequency-MLE aggregator of §4.3: the predicted target maximizes
+/// P(o | C) ∝ freq(o) / n over the trial outputs (Eq. 3-4). Deterministic
+/// tie-breaking: higher support, then shorter string, then lexicographic.
+/// Abstentions (empty strings) never win unless every trial abstained.
+class Aggregator {
+ public:
+  AggregateResult Aggregate(const std::vector<std::string>& candidates) const;
+
+  /// Multi-model form (§5.7): trials of all models are pooled with equal
+  /// weight and aggregated identically.
+  AggregateResult AggregateMulti(
+      const std::vector<std::vector<std::string>>& per_model) const;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_CORE_AGGREGATOR_H_

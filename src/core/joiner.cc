@@ -1,0 +1,84 @@
+#include "core/joiner.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/edit_distance.h"
+
+namespace dtt {
+
+JoinResult EditDistanceJoiner::Join(
+    const std::vector<std::string>& predictions,
+    const std::vector<std::string>& target_values) const {
+  JoinResult result;
+  result.matches.resize(predictions.size());
+
+  // Exact-match buckets: zero-distance matches resolve in O(1).
+  std::unordered_map<std::string, int> exact;
+  for (size_t j = 0; j < target_values.size(); ++j) {
+    exact.emplace(target_values[j], static_cast<int>(j));  // first wins
+  }
+
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const std::string& pred = predictions[i];
+    JoinMatch& match = result.matches[i];
+    if (pred.empty()) continue;  // abstained -> unmatched
+    auto hit = exact.find(pred);
+    if (hit != exact.end()) {
+      match.target_index = hit->second;
+      match.edit_distance = 0;
+      continue;
+    }
+    size_t best = std::numeric_limits<size_t>::max();
+    int best_j = -1;
+    for (size_t j = 0; j < target_values.size(); ++j) {
+      size_t d;
+      if (options_.band > 0) {
+        size_t bound = std::min(options_.band, best);
+        d = BoundedEditDistance(pred, target_values[j], bound);
+        if (d > bound) continue;
+      } else {
+        d = EditDistance(pred, target_values[j]);
+      }
+      if (d < best) {
+        best = d;
+        best_j = static_cast<int>(j);
+        if (best == 0) break;
+      }
+    }
+    if (best_j < 0) continue;
+    if (options_.max_distance_ratio > 0.0) {
+      double limit = options_.max_distance_ratio *
+                     static_cast<double>(
+                         std::max<size_t>(1, target_values[
+                             static_cast<size_t>(best_j)].size()));
+      if (static_cast<double>(best) > limit) continue;
+    }
+    match.target_index = best_j;
+    match.edit_distance = best;
+  }
+  return result;
+}
+
+JoinResult EditDistanceJoiner::Join(
+    const std::vector<RowPrediction>& predictions,
+    const std::vector<std::string>& target_values) const {
+  std::vector<std::string> preds;
+  preds.reserve(predictions.size());
+  for (const auto& p : predictions) preds.push_back(p.prediction);
+  return Join(preds, target_values);
+}
+
+std::vector<int> EditDistanceJoiner::JoinRange(
+    const std::string& prediction,
+    const std::vector<std::string>& target_values, size_t lo,
+    size_t hi) const {
+  std::vector<int> out;
+  for (size_t j = 0; j < target_values.size(); ++j) {
+    size_t d = EditDistance(prediction, target_values[j]);
+    if (d >= lo && d <= hi) out.push_back(static_cast<int>(j));
+  }
+  return out;
+}
+
+}  // namespace dtt

@@ -1,0 +1,66 @@
+#ifndef DTT_CORE_JOINER_H_
+#define DTT_CORE_JOINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace dtt {
+
+/// One join decision: source row i matched target row `target_index`
+/// (-1 = unmatched).
+struct JoinMatch {
+  int target_index = -1;
+  size_t edit_distance = 0;
+};
+
+/// Result of joining predictions against a target column.
+struct JoinResult {
+  std::vector<JoinMatch> matches;  // one per prediction, same order
+  /// Pair-classifier methods (Ditto-style entity matchers) emit EVERY pair
+  /// above their acceptance threshold, not just the per-source arg-max.
+  /// When non-empty, evaluation scores pairs: precision over all emitted
+  /// pairs, recall over sources with at least one correct pair.
+  std::vector<std::pair<int, int>> all_pairs;  // (source idx, target idx)
+};
+
+/// Joiner options (Eq. 5 + the many-to-many generalization of §4.4).
+struct JoinerOptions {
+  /// Reject a match whose edit distance exceeds this fraction of the target
+  /// length (<= 0 disables; the paper's one-to-one setting uses pure argmin).
+  double max_distance_ratio = 0.0;
+  /// Use the banded early-exit distance with this bound when > 0 (pure
+  /// performance knob; equal results when the bound is large enough).
+  size_t band = 0;
+};
+
+/// The edit-distance joiner of §4.4: each predicted value bridges to the
+/// target row minimizing Levenshtein distance (Eq. 5). Abstentions (empty
+/// predictions) stay unmatched. An exact-match hash bucket handles the
+/// (common) zero-distance case in O(1).
+class EditDistanceJoiner {
+ public:
+  explicit EditDistanceJoiner(JoinerOptions options = {})
+      : options_(options) {}
+
+  JoinResult Join(const std::vector<RowPrediction>& predictions,
+                  const std::vector<std::string>& target_values) const;
+
+  /// Plain-string convenience overload.
+  JoinResult Join(const std::vector<std::string>& predictions,
+                  const std::vector<std::string>& target_values) const;
+
+  /// All target rows within [lo, hi] edit distance of the prediction — the
+  /// many-to-many join mode sketched at the end of §4.4.
+  std::vector<int> JoinRange(const std::string& prediction,
+                             const std::vector<std::string>& target_values,
+                             size_t lo, size_t hi) const;
+
+ private:
+  JoinerOptions options_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_CORE_JOINER_H_

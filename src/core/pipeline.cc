@@ -1,0 +1,53 @@
+#include "core/pipeline.h"
+
+namespace dtt {
+
+DttPipeline::DttPipeline(std::vector<std::shared_ptr<TextToTextModel>> models,
+                         PipelineOptions options)
+    : models_(std::move(models)),
+      options_(options),
+      decomposer_(options.decomposer) {}
+
+DttPipeline::DttPipeline(std::shared_ptr<TextToTextModel> model,
+                         PipelineOptions options)
+    : DttPipeline(std::vector<std::shared_ptr<TextToTextModel>>{
+                      std::move(model)},
+                  options) {}
+
+RowPrediction DttPipeline::TransformRow(
+    const std::string& source, const std::vector<ExamplePair>& examples,
+    Rng* rng) const {
+  RowPrediction row;
+  row.source = source;
+  std::vector<std::vector<std::string>> per_model;
+  per_model.reserve(models_.size());
+  for (const auto& model : models_) {
+    std::vector<std::string> trials;
+    for (auto& prompt : decomposer_.MakePrompts(source, examples, rng)) {
+      auto result = model->Transform(prompt);
+      // Errors (e.g. over-length prompts) count as abstentions; the
+      // aggregator is the framework's error sink.
+      trials.push_back(result.ok() ? result.value() : std::string());
+    }
+    per_model.push_back(std::move(trials));
+  }
+  Aggregator aggregator;
+  AggregateResult agg = aggregator.AggregateMulti(per_model);
+  row.prediction = agg.prediction;
+  row.confidence = agg.confidence;
+  row.support = agg.support;
+  return row;
+}
+
+std::vector<RowPrediction> DttPipeline::TransformAll(
+    const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples, Rng* rng) const {
+  std::vector<RowPrediction> out;
+  out.reserve(sources.size());
+  for (const auto& source : sources) {
+    out.push_back(TransformRow(source, examples, rng));
+  }
+  return out;
+}
+
+}  // namespace dtt

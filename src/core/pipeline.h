@@ -1,0 +1,64 @@
+#ifndef DTT_CORE_PIPELINE_H_
+#define DTT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "models/model.h"
+#include "text/decomposer.h"
+
+namespace dtt {
+
+/// Aggregated prediction for one source row.
+struct RowPrediction {
+  std::string source;
+  std::string prediction;  // empty = abstained
+  double confidence = 0.0;
+  int support = 0;
+};
+
+/// End-to-end DTT options: decomposition (k, n) per §4.1/§5.3.
+struct PipelineOptions {
+  DecomposerOptions decomposer;
+  SerializerOptions serializer;
+};
+
+/// The DTT framework of Figure 2: decomposer + serializer + model(s) +
+/// aggregator. One or more models may be attached; each runs
+/// `decomposer.num_trials` trials per row and all trials are pooled in the
+/// aggregator (the §5.7 multi-model configuration).
+class DttPipeline {
+ public:
+  DttPipeline(std::vector<std::shared_ptr<TextToTextModel>> models,
+              PipelineOptions options = {});
+
+  /// Single-model convenience constructor.
+  DttPipeline(std::shared_ptr<TextToTextModel> model,
+              PipelineOptions options = {});
+
+  /// Transforms one source row given the example set.
+  RowPrediction TransformRow(const std::string& source,
+                             const std::vector<ExamplePair>& examples,
+                             Rng* rng) const;
+
+  /// Transforms every source row (the R of Eq. 1).
+  std::vector<RowPrediction> TransformAll(
+      const std::vector<std::string>& sources,
+      const std::vector<ExamplePair>& examples, Rng* rng) const;
+
+  const PipelineOptions& options() const { return options_; }
+  const std::vector<std::shared_ptr<TextToTextModel>>& models() const {
+    return models_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<TextToTextModel>> models_;
+  PipelineOptions options_;
+  Decomposer decomposer_;
+  Aggregator aggregator_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_CORE_PIPELINE_H_

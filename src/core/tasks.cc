@@ -1,0 +1,29 @@
+#include "core/tasks.h"
+
+#include "util/edit_distance.h"
+
+namespace dtt {
+
+std::vector<RowPrediction> FillMissingValues(
+    const DttPipeline& pipeline, const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples, Rng* rng) {
+  return pipeline.TransformAll(sources, examples, rng);
+}
+
+std::vector<ErrorFlag> DetectErrors(const DttPipeline& pipeline,
+                                    const std::vector<ExamplePair>& rows,
+                                    const std::vector<ExamplePair>& examples,
+                                    double aned_threshold, Rng* rng) {
+  std::vector<ErrorFlag> flags;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RowPrediction pred = pipeline.TransformRow(rows[i].source, examples, rng);
+    if (pred.prediction.empty()) continue;  // abstained; no evidence
+    double aned = NormalizedEditDistance(rows[i].target, pred.prediction);
+    if (aned > aned_threshold) {
+      flags.push_back({i, pred.prediction, rows[i].target, aned});
+    }
+  }
+  return flags;
+}
+
+}  // namespace dtt

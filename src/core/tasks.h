@@ -1,0 +1,37 @@
+#ifndef DTT_CORE_TASKS_H_
+#define DTT_CORE_TASKS_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace dtt {
+
+/// §4.4 downstream tasks built on top of the pipeline. Joining lives in
+/// joiner.h; these cover missing-value imputation and error detection
+/// (both named by the paper as applications; imputation is also singled out
+/// in the conclusion as a strength because DTT's output is usually exact).
+
+/// Fills missing targets: returns one prediction per source row.
+/// Unlike joining, imputation needs the literal predicted value.
+std::vector<RowPrediction> FillMissingValues(
+    const DttPipeline& pipeline, const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples, Rng* rng);
+
+/// A flagged row from error detection.
+struct ErrorFlag {
+  size_t row = 0;
+  std::string expected;  // the model's prediction
+  std::string actual;    // the value present in the table
+  double aned = 0.0;     // normalized distance between the two
+};
+
+/// Error detection: rows whose existing target deviates from the model's
+/// prediction by more than `aned_threshold` normalized edit distance.
+std::vector<ErrorFlag> DetectErrors(
+    const DttPipeline& pipeline, const std::vector<ExamplePair>& rows,
+    const std::vector<ExamplePair>& examples, double aned_threshold, Rng* rng);
+
+}  // namespace dtt
+
+#endif  // DTT_CORE_TASKS_H_

@@ -1,0 +1,235 @@
+#include "data/knowledge_base.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dtt {
+
+std::optional<std::string> KbRelation::Lookup(const std::string& key) const {
+  auto it = map.find(key);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> KbRelation::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, v] : map) keys.push_back(k);
+  // Deterministic order for reproducible dataset generation.
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+namespace {
+
+KbRelation MakePairRelation(std::string name,
+                            const std::vector<std::pair<const char*,
+                                                        const char*>>& pairs,
+                            bool general = true) {
+  KbRelation rel;
+  rel.name = std::move(name);
+  rel.general_knowledge = general;
+  for (const auto& [k, v] : pairs) rel.map.emplace(k, v);
+  return rel;
+}
+
+KbRelation Inverse(const KbRelation& rel, std::string name) {
+  KbRelation inv;
+  inv.name = std::move(name);
+  inv.general_knowledge = rel.general_knowledge;
+  for (const auto& [k, v] : rel.map) inv.map.emplace(v, k);
+  return inv;
+}
+
+const std::vector<std::pair<const char*, const char*>>& StateAbbrev() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"Alabama", "AL"},        {"Alaska", "AK"},       {"Arizona", "AZ"},
+      {"Arkansas", "AR"},       {"California", "CA"},   {"Colorado", "CO"},
+      {"Connecticut", "CT"},    {"Delaware", "DE"},     {"Florida", "FL"},
+      {"Georgia", "GA"},        {"Hawaii", "HI"},       {"Idaho", "ID"},
+      {"Illinois", "IL"},       {"Indiana", "IN"},      {"Iowa", "IA"},
+      {"Kansas", "KS"},         {"Kentucky", "KY"},     {"Louisiana", "LA"},
+      {"Maine", "ME"},          {"Maryland", "MD"},     {"Massachusetts", "MA"},
+      {"Michigan", "MI"},       {"Minnesota", "MN"},    {"Mississippi", "MS"},
+      {"Missouri", "MO"},       {"Montana", "MT"},      {"Nebraska", "NE"},
+      {"Nevada", "NV"},         {"New Hampshire", "NH"},{"New Jersey", "NJ"},
+      {"New Mexico", "NM"},     {"New York", "NY"},     {"North Carolina", "NC"},
+      {"North Dakota", "ND"},   {"Ohio", "OH"},         {"Oklahoma", "OK"},
+      {"Oregon", "OR"},         {"Pennsylvania", "PA"}, {"Rhode Island", "RI"},
+      {"South Carolina", "SC"}, {"South Dakota", "SD"}, {"Tennessee", "TN"},
+      {"Texas", "TX"},          {"Utah", "UT"},         {"Vermont", "VT"},
+      {"Virginia", "VA"},       {"Washington", "WA"},   {"West Virginia", "WV"},
+      {"Wisconsin", "WI"},      {"Wyoming", "WY"}};
+  return kPairs;
+}
+
+const std::vector<std::pair<const char*, const char*>>& CountryCapital() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"Canada", "Ottawa"},        {"France", "Paris"},
+      {"Germany", "Berlin"},       {"Italy", "Rome"},
+      {"Spain", "Madrid"},         {"Portugal", "Lisbon"},
+      {"Japan", "Tokyo"},          {"China", "Beijing"},
+      {"India", "New Delhi"},      {"Brazil", "Brasilia"},
+      {"Mexico", "Mexico City"},   {"Australia", "Canberra"},
+      {"Austria", "Vienna"},       {"Greece", "Athens"},
+      {"Norway", "Oslo"},          {"Sweden", "Stockholm"},
+      {"Finland", "Helsinki"},     {"Denmark", "Copenhagen"},
+      {"Poland", "Warsaw"},        {"Hungary", "Budapest"},
+      {"Ireland", "Dublin"},       {"Egypt", "Cairo"},
+      {"Turkey", "Ankara"},        {"Russia", "Moscow"},
+      {"Argentina", "Buenos Aires"},{"Chile", "Santiago"},
+      {"Peru", "Lima"},            {"Kenya", "Nairobi"},
+      {"Nigeria", "Abuja"},        {"Morocco", "Rabat"},
+      {"Iran", "Tehran"},          {"Iraq", "Baghdad"},
+      {"Israel", "Jerusalem"},     {"Jordan", "Amman"},
+      {"Thailand", "Bangkok"},     {"Vietnam", "Hanoi"},
+      {"Indonesia", "Jakarta"},    {"Malaysia", "Kuala Lumpur"},
+      {"Philippines", "Manila"},   {"South Korea", "Seoul"}};
+  return kPairs;
+}
+
+const std::vector<std::pair<const char*, const char*>>& CountryCitizen() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"Canada", "Canadian"},     {"France", "French"},
+      {"Germany", "German"},      {"Italy", "Italian"},
+      {"Spain", "Spanish"},       {"Portugal", "Portuguese"},
+      {"Japan", "Japanese"},      {"China", "Chinese"},
+      {"India", "Indian"},        {"Brazil", "Brazilian"},
+      {"Mexico", "Mexican"},      {"Australia", "Australian"},
+      {"Austria", "Austrian"},    {"Greece", "Greek"},
+      {"Norway", "Norwegian"},    {"Sweden", "Swedish"},
+      {"Finland", "Finnish"},     {"Denmark", "Danish"},
+      {"Poland", "Polish"},       {"Hungary", "Hungarian"},
+      {"Ireland", "Irish"},       {"Egypt", "Egyptian"},
+      {"Turkey", "Turkish"},      {"Russia", "Russian"},
+      {"Argentina", "Argentine"}, {"Chile", "Chilean"},
+      {"Peru", "Peruvian"},       {"Kenya", "Kenyan"},
+      {"Nigeria", "Nigerian"},    {"Morocco", "Moroccan"},
+      {"Iran", "Iranian"},        {"Iraq", "Iraqi"},
+      {"Israel", "Israeli"},      {"Jordan", "Jordanian"},
+      {"Thailand", "Thai"},       {"Vietnam", "Vietnamese"},
+      {"Indonesia", "Indonesian"},{"Malaysia", "Malaysian"},
+      {"Philippines", "Filipino"},{"South Korea", "Korean"}};
+  return kPairs;
+}
+
+const std::vector<std::pair<const char*, const char*>>& CountryCode() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"Canada", "CA"},      {"France", "FR"},   {"Germany", "DE"},
+      {"Italy", "IT"},       {"Spain", "ES"},    {"Portugal", "PT"},
+      {"Japan", "JP"},       {"China", "CN"},    {"India", "IN"},
+      {"Brazil", "BR"},      {"Mexico", "MX"},   {"Australia", "AU"},
+      {"Austria", "AT"},     {"Greece", "GR"},   {"Norway", "NO"},
+      {"Sweden", "SE"},      {"Finland", "FI"},  {"Denmark", "DK"},
+      {"Poland", "PL"},      {"Hungary", "HU"},  {"Ireland", "IE"},
+      {"Egypt", "EG"},       {"Turkey", "TR"},   {"Russia", "RU"},
+      {"Argentina", "AR"},   {"Chile", "CL"},    {"Peru", "PE"},
+      {"Kenya", "KE"},       {"Nigeria", "NG"},  {"Morocco", "MA"},
+      {"Iran", "IR"},        {"Iraq", "IQ"},     {"Israel", "IL"},
+      {"Jordan", "JO"},      {"Thailand", "TH"}, {"Vietnam", "VN"},
+      {"Indonesia", "ID"},   {"Malaysia", "MY"}, {"Philippines", "PH"},
+      {"South Korea", "KR"}};
+  return kPairs;
+}
+
+const std::vector<std::pair<const char*, const char*>>& MonthNumber() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"January", "1"},  {"February", "2"}, {"March", "3"},
+      {"April", "4"},    {"May", "5"},      {"June", "6"},
+      {"July", "7"},     {"August", "8"},   {"September", "9"},
+      {"October", "10"}, {"November", "11"},{"December", "12"}};
+  return kPairs;
+}
+
+const std::vector<std::pair<const char*, const char*>>& ElementSymbol() {
+  static const std::vector<std::pair<const char*, const char*>> kPairs = {
+      {"Hydrogen", "H"},   {"Helium", "He"},  {"Lithium", "Li"},
+      {"Carbon", "C"},     {"Nitrogen", "N"}, {"Oxygen", "O"},
+      {"Fluorine", "F"},   {"Neon", "Ne"},    {"Sodium", "Na"},
+      {"Magnesium", "Mg"}, {"Aluminum", "Al"},{"Silicon", "Si"},
+      {"Phosphorus", "P"}, {"Sulfur", "S"},   {"Chlorine", "Cl"},
+      {"Argon", "Ar"},     {"Potassium", "K"},{"Calcium", "Ca"},
+      {"Iron", "Fe"},      {"Copper", "Cu"},  {"Zinc", "Zn"},
+      {"Silver", "Ag"},    {"Gold", "Au"},    {"Mercury", "Hg"},
+      {"Lead", "Pb"},      {"Tin", "Sn"},     {"Nickel", "Ni"},
+      {"Cobalt", "Co"},    {"Platinum", "Pt"},{"Uranium", "U"}};
+  return kPairs;
+}
+
+}  // namespace
+
+std::shared_ptr<const KnowledgeBase> KnowledgeBase::Builtin() {
+  static std::shared_ptr<const KnowledgeBase> kb = [] {
+    auto b = std::make_shared<KnowledgeBase>();
+    KbRelation state = MakePairRelation("state_to_abbrev", StateAbbrev());
+    b->AddRelation(Inverse(state, "abbrev_to_state"));
+    b->AddRelation(std::move(state));
+    KbRelation capital = MakePairRelation("country_to_capital",
+                                          CountryCapital());
+    b->AddRelation(Inverse(capital, "capital_to_country"));
+    b->AddRelation(std::move(capital));
+    b->AddRelation(MakePairRelation("country_to_citizen", CountryCitizen()));
+    KbRelation code = MakePairRelation("country_to_code", CountryCode());
+    b->AddRelation(Inverse(code, "code_to_country"));
+    b->AddRelation(std::move(code));
+    KbRelation month = MakePairRelation("month_to_number", MonthNumber());
+    b->AddRelation(Inverse(month, "number_to_month"));
+    b->AddRelation(std::move(month));
+    KbRelation element = MakePairRelation("element_to_symbol",
+                                          ElementSymbol());
+    b->AddRelation(Inverse(element, "symbol_to_element"));
+    b->AddRelation(std::move(element));
+    return b;
+  }();
+  return kb;
+}
+
+std::shared_ptr<KnowledgeBase> KnowledgeBase::Subsample(double fraction,
+                                                        uint64_t seed) const {
+  auto out = std::make_shared<KnowledgeBase>();
+  Rng rng(seed);
+  for (const auto& rel : relations_) {
+    if (!rel.general_knowledge) continue;  // parametric knowledge not copied
+    KbRelation sub;
+    sub.name = rel.name;
+    sub.general_knowledge = true;
+    for (const auto& key : rel.Keys()) {
+      if (rng.NextBool(fraction)) sub.map.emplace(key, rel.map.at(key));
+    }
+    if (!sub.map.empty()) out->AddRelation(std::move(sub));
+  }
+  return out;
+}
+
+void KnowledgeBase::AddRelation(KbRelation relation) {
+  relations_.push_back(std::move(relation));
+}
+
+const KbRelation* KnowledgeBase::FindRelationByName(
+    const std::string& name) const {
+  for (const auto& rel : relations_) {
+    if (rel.name == name) return &rel;
+  }
+  return nullptr;
+}
+
+std::vector<const KbRelation*> KnowledgeBase::MatchingRelations(
+    const std::vector<ExamplePair>& examples) const {
+  std::vector<const KbRelation*> out;
+  if (examples.empty()) return out;
+  for (const auto& rel : relations_) {
+    bool all = true;
+    for (const auto& ex : examples) {
+      auto v = rel.Lookup(ex.source);
+      if (!v || *v != ex.target) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(&rel);
+  }
+  return out;
+}
+
+}  // namespace dtt

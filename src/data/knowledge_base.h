@@ -1,0 +1,60 @@
+#ifndef DTT_DATA_KNOWLEDGE_BASE_H_
+#define DTT_DATA_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "transform/training_data.h"
+
+namespace dtt {
+
+/// A functional binary relation key -> value (e.g. state -> abbreviation).
+struct KbRelation {
+  std::string name;
+  std::unordered_map<std::string, std::string> map;
+  /// Whether the relation encodes general world knowledge (states, months,
+  /// countries) as opposed to parametric knowledge (ISBN -> author) that no
+  /// model could know without the exact KB (§5.5 discussion of KBWT).
+  bool general_knowledge = true;
+
+  std::optional<std::string> Lookup(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+};
+
+/// An in-memory knowledge base: the stand-in for the web/world knowledge of a
+/// large pretrained model and for DataXFormer's KB tables.
+class KnowledgeBase {
+ public:
+  /// The full built-in KB (states, countries, months, elements, ... and their
+  /// inverses). Deterministic content.
+  static std::shared_ptr<const KnowledgeBase> Builtin();
+
+  /// A down-sampled copy keeping ~`fraction` of each *general* relation's
+  /// entries (parametric relations are dropped entirely). This models the
+  /// partial world knowledge of a smaller model such as fine-tuned ByT5
+  /// (§5.5: DTT covers "some semantic transformations ... because of its
+  /// prior knowledge").
+  std::shared_ptr<KnowledgeBase> Subsample(double fraction,
+                                           uint64_t seed) const;
+
+  void AddRelation(KbRelation relation);
+
+  const KbRelation* FindRelationByName(const std::string& name) const;
+  const std::vector<KbRelation>& relations() const { return relations_; }
+
+  /// Relations consistent with ALL example pairs (target == rel[source]);
+  /// the mechanism both KnowledgeLM and DataXFormerLite use to ground
+  /// examples in the KB.
+  std::vector<const KbRelation*> MatchingRelations(
+      const std::vector<ExamplePair>& examples) const;
+
+ private:
+  std::vector<KbRelation> relations_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_DATA_KNOWLEDGE_BASE_H_

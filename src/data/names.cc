@@ -1,0 +1,137 @@
+#include "data/names.h"
+
+#include "util/string_util.h"
+
+namespace dtt {
+namespace corpus {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Jocelyne", "Gerard",  "Norm",    "Julian",  "Therese", "Max",
+      "Julie",    "Kumar",   "Justin",  "Stephen", "Paul",    "Jean",
+      "Kim",      "Brian",   "John",    "Joe",     "Pierre",  "Louis",
+      "Alice",    "Robert",  "Maria",   "David",   "Sarah",   "Michael",
+      "Emma",     "James",   "Olivia",  "William", "Sophia",  "Benjamin",
+      "Isabella", "Lucas",   "Mia",     "Henry",   "Amelia",  "Noah",
+      "Ava",      "Daniel",  "Grace",   "Samuel",  "Chloe",   "Nathan",
+      "Ella",     "Thomas",  "Lily",    "Aaron",   "Zoe",     "Victor",
+      "Nina",     "Oscar",   "Ruby",    "Felix",   "Iris",    "Hugo",
+      "Clara",    "Arthur",  "Alma",    "Edgar",   "Vera",    "Martin",
+      "Elif",     "Arash",   "Davood",  "Wei",     "Mei",     "Raj",
+      "Priya",    "Hassan",  "Fatima",  "Yuki",    "Hiro",    "Anna",
+      "Igor",     "Olga",    "Pedro",   "Lucia",   "Carlos",  "Elena"};
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "Thomas",   "Little",    "Adams",    "Lee",      "Anderson", "Lauzon",
+      "Trudeau",  "Harper",    "Martin",   "Chretien", "Campbell", "Mulroney",
+      "Turner",   "Clark",     "Smith",    "Johnson",  "Williams", "Brown",
+      "Jones",    "Garcia",    "Miller",   "Davis",    "Rodriguez","Martinez",
+      "Wilson",   "Moore",     "Taylor",   "White",    "Harris",   "Clarke",
+      "Lewis",    "Walker",    "Hall",     "Allen",    "Young",    "King",
+      "Wright",   "Scott",     "Green",    "Baker",    "Nelson",   "Carter",
+      "Mitchell", "Perez",     "Roberts",  "Turner2",  "Phillips", "Parker",
+      "Evans",    "Edwards",   "Collins",  "Stewart",  "Morris",   "Rogers",
+      "Reed",     "Cook",      "Morgan",   "Bell",     "Murphy",   "Bailey",
+      "Rivera",   "Cooper",    "Kim",      "Chen",     "Wang",     "Singh",
+      "Kumar",    "Nguyen",    "Tanaka",   "Sato",     "Ivanov",   "Petrov",
+      "Silva",    "Santos",    "Rossi",    "Ferrari",  "Nobari",   "Rafiei"};
+  return kNames;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kCities = {
+      "Edmonton",   "Calgary",   "Toronto",    "Vancouver", "Montreal",
+      "Ottawa",     "Winnipeg",  "Halifax",    "Victoria",  "Regina",
+      "Seattle",    "Portland",  "Denver",     "Austin",    "Boston",
+      "Chicago",    "Phoenix",   "Dallas",     "Atlanta",   "Miami",
+      "London",     "Paris",     "Berlin",     "Madrid",    "Rome",
+      "Tokyo",      "Osaka",     "Seoul",      "Sydney",    "Melbourne",
+      "Dublin",     "Oslo",      "Helsinki",   "Vienna",    "Prague",
+      "Lisbon",     "Warsaw",    "Budapest",   "Athens",    "Zurich"};
+  return kCities;
+}
+
+const std::vector<std::string>& Streets() {
+  static const std::vector<std::string> kStreets = {
+      "Main St",     "Oak Ave",     "Maple Rd",   "Cedar Ln",  "Pine Dr",
+      "Elm St",      "Park Ave",    "Lake Rd",    "Hill St",   "River Dr",
+      "King St",     "Queen Ave",   "College St", "Jasper Ave","Whyte Ave",
+      "Broadway",    "Granville St","Yonge St",   "Bay St",    "Front St"};
+  return kStreets;
+}
+
+const std::vector<std::string>& Companies() {
+  static const std::vector<std::string> kCompanies = {
+      "Acme Corp",      "Globex",        "Initech",      "Umbrella Inc",
+      "Stark Industries","Wayne Ent",    "Hooli",        "Vandelay",
+      "Wonka Ltd",      "Cyberdyne",     "Tyrell Corp",  "Soylent Co",
+      "Aperture Labs",  "Black Mesa",    "Massive Dyn",  "Pied Piper",
+      "Dunder Mifflin", "Sterling Coop", "Prestige World","Oceanic Air"};
+  return kCompanies;
+}
+
+const std::vector<std::string>& CommonWords() {
+  static const std::vector<std::string> kWords = {
+      "data",    "table",  "system",  "model",   "paper",  "value",
+      "report",  "market", "energy",  "health",  "school", "music",
+      "travel",  "garden", "kitchen", "window",  "bridge", "forest",
+      "river",   "island", "silver",  "copper",  "orange", "purple",
+      "winter",  "summer", "spring",  "autumn",  "north",  "south"};
+  return kWords;
+}
+
+}  // namespace corpus
+
+const std::string& PickFrom(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->NextBounded(pool.size())];
+}
+
+std::string PersonName::Full() const {
+  std::string out;
+  if (!first.empty()) out += first;
+  if (!middle.empty()) {
+    if (!out.empty()) out += " ";
+    out += middle;
+  }
+  if (!last.empty()) {
+    if (!out.empty()) out += " ";
+    out += last;
+  }
+  return out;
+}
+
+PersonName RandomPersonName(Rng* rng, double middle_prob,
+                            double missing_first_prob) {
+  PersonName name;
+  if (!rng->NextBool(missing_first_prob)) {
+    name.first = PickFrom(corpus::FirstNames(), rng);
+  }
+  if (rng->NextBool(middle_prob)) {
+    name.middle = PickFrom(corpus::FirstNames(), rng);
+  }
+  name.last = PickFrom(corpus::LastNames(), rng);
+  return name;
+}
+
+std::string RandomPhoneDigits(Rng* rng) {
+  std::string digits;
+  digits += static_cast<char>('2' + rng->NextBounded(8));  // area starts 2-9
+  for (int i = 0; i < 9; ++i) {
+    digits += static_cast<char>('0' + rng->NextBounded(10));
+  }
+  return digits;
+}
+
+Date RandomDate(Rng* rng, int year_lo, int year_hi) {
+  Date d;
+  d.year = static_cast<int>(rng->NextInt(year_lo, year_hi));
+  d.month = static_cast<int>(rng->NextInt(1, 12));
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  d.day = static_cast<int>(rng->NextInt(1, kDays[d.month - 1]));
+  return d;
+}
+
+}  // namespace dtt

@@ -1,0 +1,54 @@
+#ifndef DTT_DATA_NAMES_H_
+#define DTT_DATA_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtt {
+
+/// Small embedded corpora used to synthesize realistic table cells for the
+/// simulated real-world benchmarks (WT-sim / SS-sim / KBWT-sim).
+namespace corpus {
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& Streets();
+const std::vector<std::string>& Companies();
+const std::vector<std::string>& CommonWords();
+
+}  // namespace corpus
+
+/// Uniformly samples an element of a non-empty corpus.
+const std::string& PickFrom(const std::vector<std::string>& pool, Rng* rng);
+
+/// A structured random person name. With probability `middle_prob` a middle
+/// name is included; with probability `missing_first_prob` the first name is
+/// absent (mirroring the ". Kumar" row of Figure 1 in the paper).
+struct PersonName {
+  std::string first;
+  std::string middle;  // may be empty
+  std::string last;
+
+  /// "First [Middle ]Last" with missing parts skipped.
+  std::string Full() const;
+};
+PersonName RandomPersonName(Rng* rng, double middle_prob = 0.2,
+                            double missing_first_prob = 0.05);
+
+/// Random 10-digit North-American phone number, digits only.
+std::string RandomPhoneDigits(Rng* rng);
+
+/// Random calendar date as (year, month, day) with valid day-of-month.
+struct Date {
+  int year;
+  int month;
+  int day;
+};
+Date RandomDate(Rng* rng, int year_lo = 1960, int year_hi = 2023);
+
+}  // namespace dtt
+
+#endif  // DTT_DATA_NAMES_H_

@@ -1,0 +1,29 @@
+#include "data/noise.h"
+
+#include "transform/sampler.h"
+
+namespace dtt {
+
+size_t AddExampleNoise(std::vector<ExamplePair>* examples, double ratio,
+                       Rng* rng) {
+  if (examples->empty() || ratio <= 0.0) return 0;
+  size_t n_noisy = static_cast<size_t>(
+      static_cast<double>(examples->size()) * ratio + 0.5);
+  n_noisy = std::min(n_noisy, examples->size());
+  auto idx = rng->Sample(examples->size(), n_noisy);
+  SourceTextOptions opts;
+  opts.min_len = 4;
+  opts.max_len = 16;
+  for (size_t i : idx) {
+    (*examples)[i].target = RandomSourceText(opts, rng);
+  }
+  return n_noisy;
+}
+
+std::vector<ExamplePair> WithExampleNoise(std::vector<ExamplePair> examples,
+                                          double ratio, Rng* rng) {
+  AddExampleNoise(&examples, ratio, rng);
+  return examples;
+}
+
+}  // namespace dtt

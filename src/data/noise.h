@@ -1,0 +1,24 @@
+#ifndef DTT_DATA_NOISE_H_
+#define DTT_DATA_NOISE_H_
+
+#include <vector>
+
+#include "transform/training_data.h"
+#include "util/rng.h"
+
+namespace dtt {
+
+/// Replaces the target of a `ratio` fraction of example pairs with random
+/// text — the noise model of §5.10 ("randomly selecting input example pairs
+/// and replacing the target with a random text"). Returns the number of
+/// corrupted pairs.
+size_t AddExampleNoise(std::vector<ExamplePair>* examples, double ratio,
+                       Rng* rng);
+
+/// A copy with noise applied (convenience for sweeps).
+std::vector<ExamplePair> WithExampleNoise(std::vector<ExamplePair> examples,
+                                          double ratio, Rng* rng);
+
+}  // namespace dtt
+
+#endif  // DTT_DATA_NOISE_H_

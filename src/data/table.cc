@@ -1,0 +1,62 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace dtt {
+
+double TablePair::MeanSourceLength() const {
+  if (source.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : source) sum += static_cast<double>(s.size());
+  return sum / static_cast<double>(source.size());
+}
+
+double Dataset::MeanRows() const {
+  if (tables.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : tables) sum += static_cast<double>(t.num_rows());
+  return sum / static_cast<double>(tables.size());
+}
+
+double Dataset::MeanSourceLength() const {
+  if (tables.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : tables) sum += t.MeanSourceLength();
+  return sum / static_cast<double>(tables.size());
+}
+
+std::vector<std::string> TableSplit::TestSources() const {
+  std::vector<std::string> out;
+  out.reserve(test.size());
+  for (const auto& p : test) out.push_back(p.source);
+  return out;
+}
+
+std::vector<std::string> TableSplit::TestTargets() const {
+  std::vector<std::string> out;
+  out.reserve(test.size());
+  for (const auto& p : test) out.push_back(p.target);
+  return out;
+}
+
+TableSplit SplitTable(const TablePair& table, Rng* rng, double example_frac) {
+  TableSplit split;
+  const size_t n = table.num_rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t n_examples = static_cast<size_t>(
+      std::max(1.0, static_cast<double>(n) * example_frac));
+  if (n_examples >= n && n > 1) n_examples = n - 1;
+  for (size_t i = 0; i < n; ++i) {
+    ExamplePair pair{table.source[order[i]], table.target[order[i]]};
+    if (i < n_examples) {
+      split.examples.push_back(std::move(pair));
+    } else {
+      split.test.push_back(std::move(pair));
+    }
+  }
+  return split;
+}
+
+}  // namespace dtt

@@ -1,0 +1,53 @@
+#ifndef DTT_DATA_TABLE_H_
+#define DTT_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "transform/training_data.h"
+#include "util/rng.h"
+
+namespace dtt {
+
+/// A pair of aligned entity columns: source[i] corresponds to target[i]
+/// (the row-level ground truth used for evaluation).
+struct TablePair {
+  std::string name;
+  std::vector<std::string> source;
+  std::vector<std::string> target;
+
+  size_t num_rows() const { return source.size(); }
+
+  /// Mean source length in characters (dataset statistics reporting).
+  double MeanSourceLength() const;
+};
+
+/// A named collection of table pairs (one evaluation benchmark).
+struct Dataset {
+  std::string name;
+  std::vector<TablePair> tables;
+
+  double MeanRows() const;
+  double MeanSourceLength() const;
+};
+
+/// The Se/St split of §5.3: half the rows provide context examples, half are
+/// the test rows to transform and join.
+struct TableSplit {
+  std::vector<ExamplePair> examples;  // Se
+  std::vector<ExamplePair> test;      // St (gold targets kept for scoring)
+
+  /// Source values of the test half.
+  std::vector<std::string> TestSources() const;
+  /// Target values of the test half (the join target column).
+  std::vector<std::string> TestTargets() const;
+};
+
+/// Randomly splits the rows of `table` into examples (fraction
+/// `example_frac`) and test rows.
+TableSplit SplitTable(const TablePair& table, Rng* rng,
+                      double example_frac = 0.5);
+
+}  // namespace dtt
+
+#endif  // DTT_DATA_TABLE_H_

@@ -1,0 +1,135 @@
+#include "eval/join_eval.h"
+
+#include "util/stopwatch.h"
+
+namespace dtt {
+
+DttJoinMethod::DttJoinMethod(
+    std::string name, std::vector<std::shared_ptr<TextToTextModel>> models,
+    PipelineOptions options, JoinerOptions joiner)
+    : name_(std::move(name)),
+      pipeline_(std::move(models), options),
+      joiner_(joiner) {}
+
+MethodOutput DttJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  MethodOutput out;
+  auto rows = pipeline_.TransformAll(split.TestSources(), split.examples, rng);
+  out.predictions.reserve(rows.size());
+  for (const auto& r : rows) out.predictions.push_back(r.prediction);
+  out.has_predictions = true;
+  out.join = joiner_.Join(out.predictions, split.TestTargets());
+  return out;
+}
+
+PlainLlmJoinMethod::PlainLlmJoinMethod(std::string name,
+                                       std::shared_ptr<TextToTextModel> model,
+                                       int num_examples, JoinerOptions joiner)
+    : name_(std::move(name)),
+      model_(std::move(model)),
+      num_examples_(num_examples),
+      joiner_(joiner) {}
+
+MethodOutput PlainLlmJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  MethodOutput out;
+  // Fix one example subset per table (the few-shot prompt of §5.6).
+  size_t k = std::min<size_t>(static_cast<size_t>(num_examples_),
+                              split.examples.size());
+  std::vector<ExamplePair> shots;
+  for (size_t i : rng->Sample(split.examples.size(), k)) {
+    shots.push_back(split.examples[i]);
+  }
+  for (const auto& source : split.TestSources()) {
+    Prompt prompt{shots, source};
+    auto result = model_->Transform(prompt);
+    out.predictions.push_back(result.ok() ? result.value() : std::string());
+  }
+  out.has_predictions = true;
+  out.join = joiner_.Join(out.predictions, split.TestTargets());
+  return out;
+}
+
+CstJoinMethod::CstJoinMethod(CstOptions options)
+    : joiner_(std::move(options)) {}
+
+MethodOutput CstJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  (void)rng;  // CST is deterministic
+  MethodOutput out;
+  out.join =
+      joiner_.Join(split.TestSources(), split.examples, split.TestTargets());
+  return out;
+}
+
+AfjJoinMethod::AfjJoinMethod(AfjOptions options)
+    : joiner_(std::move(options)) {}
+
+MethodOutput AfjJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  (void)rng;  // AFJ is unsupervised and deterministic
+  MethodOutput out;
+  out.join = joiner_.Join(split.TestSources(), split.TestTargets());
+  return out;
+}
+
+DittoJoinMethod::DittoJoinMethod(DittoOptions options)
+    : options_(std::move(options)) {}
+
+MethodOutput DittoJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  MethodOutput out;
+  DittoMatcher matcher(options_);
+  matcher.Train(split.examples, split.TestTargets(), rng);
+  out.join = matcher.Join(split.TestSources(), split.TestTargets());
+  return out;
+}
+
+DataXFormerJoinMethod::DataXFormerJoinMethod(
+    std::shared_ptr<const KnowledgeBase> kb, DataXFormerOptions options)
+    : joiner_(std::move(kb), options) {}
+
+MethodOutput DataXFormerJoinMethod::Run(const TableSplit& split, Rng* rng) {
+  (void)rng;
+  MethodOutput out;
+  out.predictions = joiner_.Predict(split.TestSources(), split.examples);
+  out.has_predictions = true;
+  out.join =
+      joiner_.Join(split.TestSources(), split.examples, split.TestTargets());
+  return out;
+}
+
+TableEval EvaluateOnSplit(JoinMethod* method, const TableSplit& split,
+                          Rng* rng) {
+  TableEval eval;
+  Stopwatch watch;
+  MethodOutput out = method->Run(split, rng);
+  eval.seconds = watch.Seconds();
+  eval.join = ScoreJoin(out.join, split.TestTargets(), split.TestTargets());
+  if (out.has_predictions) {
+    eval.pred = ScorePredictions(out.predictions, split.TestTargets());
+  }
+  return eval;
+}
+
+DatasetEval EvaluateOnDataset(JoinMethod* method, const Dataset& dataset,
+                              uint64_t seed,
+                              const ExampleTransform& mutate_examples) {
+  DatasetEval eval;
+  eval.dataset = dataset.name;
+  eval.method = method->name();
+  std::vector<JoinMetrics> joins;
+  std::vector<PredictionMetrics> preds;
+  Rng rng(seed);
+  for (const auto& table : dataset.tables) {
+    Rng table_rng = rng.Fork(Rng::HashString(table.name));
+    TableSplit split = SplitTable(table, &table_rng);
+    if (mutate_examples) mutate_examples(&split.examples, &table_rng);
+    TableEval te = EvaluateOnSplit(method, split, &table_rng);
+    te.table = table.name;
+    eval.seconds += te.seconds;
+    joins.push_back(te.join);
+    preds.push_back(te.pred);
+    eval.per_table.push_back(std::move(te));
+  }
+  eval.join = AverageJoin(joins);
+  eval.pred = AveragePredictions(preds);
+  return eval;
+}
+
+}  // namespace dtt

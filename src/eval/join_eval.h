@@ -1,0 +1,143 @@
+#ifndef DTT_EVAL_JOIN_EVAL_H_
+#define DTT_EVAL_JOIN_EVAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/auto_fuzzy_join.h"
+#include "baselines/cst.h"
+#include "baselines/dataxformer.h"
+#include "baselines/ditto.h"
+#include "core/pipeline.h"
+#include "data/table.h"
+#include "eval/metrics.h"
+
+namespace dtt {
+
+/// What a join method produced on one table split.
+struct MethodOutput {
+  JoinResult join;
+  std::vector<std::string> predictions;  // empty unless generative
+  bool has_predictions = false;
+};
+
+/// Uniform harness interface over DTT and all baselines.
+class JoinMethod {
+ public:
+  virtual ~JoinMethod() = default;
+  virtual std::string name() const = 0;
+  virtual MethodOutput Run(const TableSplit& split, Rng* rng) = 0;
+};
+
+/// DTT (or any TextToTextModel stack) + edit-distance join.
+class DttJoinMethod : public JoinMethod {
+ public:
+  DttJoinMethod(std::string name,
+                std::vector<std::shared_ptr<TextToTextModel>> models,
+                PipelineOptions options = {}, JoinerOptions joiner = {});
+
+  std::string name() const override { return name_; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  std::string name_;
+  DttPipeline pipeline_;
+  EditDistanceJoiner joiner_;
+};
+
+/// A plain LLM call outside the framework (Table 2's GPT3-ke rows): one
+/// prompt per row with `num_examples` examples fixed per table, no
+/// decomposition and no aggregation.
+class PlainLlmJoinMethod : public JoinMethod {
+ public:
+  PlainLlmJoinMethod(std::string name, std::shared_ptr<TextToTextModel> model,
+                     int num_examples, JoinerOptions joiner = {});
+
+  std::string name() const override { return name_; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<TextToTextModel> model_;
+  int num_examples_;
+  EditDistanceJoiner joiner_;
+};
+
+class CstJoinMethod : public JoinMethod {
+ public:
+  explicit CstJoinMethod(CstOptions options = {});
+  std::string name() const override { return "CST"; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  CstJoiner joiner_;
+};
+
+class AfjJoinMethod : public JoinMethod {
+ public:
+  explicit AfjJoinMethod(AfjOptions options = {});
+  std::string name() const override { return "AFJ"; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  AutoFuzzyJoin joiner_;
+};
+
+class DittoJoinMethod : public JoinMethod {
+ public:
+  explicit DittoJoinMethod(DittoOptions options = {});
+  std::string name() const override { return "Ditto"; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  DittoOptions options_;
+};
+
+class DataXFormerJoinMethod : public JoinMethod {
+ public:
+  explicit DataXFormerJoinMethod(std::shared_ptr<const KnowledgeBase> kb,
+                                 DataXFormerOptions options = {});
+  std::string name() const override { return "DataXFormer"; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override;
+
+ private:
+  DataXFormerLite joiner_;
+};
+
+/// Per-table evaluation record.
+struct TableEval {
+  std::string table;
+  JoinMetrics join;
+  PredictionMetrics pred;
+  double seconds = 0.0;
+};
+
+/// Dataset-level (macro-averaged) evaluation record.
+struct DatasetEval {
+  std::string dataset;
+  std::string method;
+  JoinMetrics join;
+  PredictionMetrics pred;
+  double seconds = 0.0;  // total wall-clock across tables
+  std::vector<TableEval> per_table;
+};
+
+/// Runs a method on one split and scores it.
+TableEval EvaluateOnSplit(JoinMethod* method, const TableSplit& split,
+                          Rng* rng);
+
+/// Optional transformation applied to each table's example set before the
+/// method runs (noise injection for §5.10).
+using ExampleTransform =
+    std::function<void(std::vector<ExamplePair>*, Rng*)>;
+
+/// Splits every table (Se/St), runs the method, macro-averages.
+DatasetEval EvaluateOnDataset(JoinMethod* method, const Dataset& dataset,
+                              uint64_t seed,
+                              const ExampleTransform& mutate_examples = {});
+
+}  // namespace dtt
+
+#endif  // DTT_EVAL_JOIN_EVAL_H_

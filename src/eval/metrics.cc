@@ -1,0 +1,112 @@
+#include "eval/metrics.h"
+
+#include "util/edit_distance.h"
+
+namespace dtt {
+
+JoinMetrics ScoreJoin(const JoinResult& join,
+                      const std::vector<std::string>& gold_targets,
+                      const std::vector<std::string>& target_values) {
+  JoinMetrics m;
+  m.total = gold_targets.size();
+  if (!join.all_pairs.empty()) {
+    // Pair-classifier scoring: precision over every emitted pair, recall
+    // over sources that got at least one correct pair.
+    std::vector<bool> row_correct(gold_targets.size(), false);
+    for (const auto& [i, j] : join.all_pairs) {
+      if (i < 0 || static_cast<size_t>(i) >= gold_targets.size()) continue;
+      ++m.matched;
+      if (j >= 0 && static_cast<size_t>(j) < target_values.size() &&
+          target_values[static_cast<size_t>(j)] ==
+              gold_targets[static_cast<size_t>(i)]) {
+        ++m.correct;
+        row_correct[static_cast<size_t>(i)] = true;
+      }
+    }
+    m.precision = m.matched == 0 ? 0.0
+                                 : static_cast<double>(m.correct) /
+                                       static_cast<double>(m.matched);
+    size_t rows_hit = 0;
+    for (bool b : row_correct) rows_hit += b ? 1 : 0;
+    m.recall = m.total == 0 ? 0.0
+                            : static_cast<double>(rows_hit) /
+                                  static_cast<double>(m.total);
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    return m;
+  }
+  for (size_t i = 0; i < join.matches.size() && i < gold_targets.size(); ++i) {
+    int j = join.matches[i].target_index;
+    if (j < 0) continue;
+    ++m.matched;
+    if (static_cast<size_t>(j) < target_values.size() &&
+        target_values[static_cast<size_t>(j)] == gold_targets[i]) {
+      ++m.correct;
+    }
+  }
+  m.precision = m.matched == 0
+                    ? 0.0
+                    : static_cast<double>(m.correct) /
+                          static_cast<double>(m.matched);
+  m.recall = m.total == 0 ? 0.0
+                          : static_cast<double>(m.correct) /
+                                static_cast<double>(m.total);
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+PredictionMetrics ScorePredictions(const std::vector<std::string>& predictions,
+                                   const std::vector<std::string>& gold) {
+  PredictionMetrics m;
+  size_t n = std::min(predictions.size(), gold.size());
+  double ed_sum = 0.0;
+  double ned_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ed_sum += static_cast<double>(EditDistance(predictions[i], gold[i]));
+    ned_sum += NormalizedEditDistance(predictions[i], gold[i]);
+    ++m.count;
+  }
+  if (m.count > 0) {
+    m.aed = ed_sum / static_cast<double>(m.count);
+    m.aned = ned_sum / static_cast<double>(m.count);
+  }
+  return m;
+}
+
+JoinMetrics AverageJoin(const std::vector<JoinMetrics>& per_table) {
+  JoinMetrics avg;
+  if (per_table.empty()) return avg;
+  for (const auto& m : per_table) {
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.matched += m.matched;
+    avg.correct += m.correct;
+    avg.total += m.total;
+  }
+  double n = static_cast<double>(per_table.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+PredictionMetrics AveragePredictions(
+    const std::vector<PredictionMetrics>& per_table) {
+  PredictionMetrics avg;
+  if (per_table.empty()) return avg;
+  for (const auto& m : per_table) {
+    avg.aed += m.aed;
+    avg.aned += m.aned;
+    avg.count += m.count;
+  }
+  double n = static_cast<double>(per_table.size());
+  avg.aed /= n;
+  avg.aned /= n;
+  return avg;
+}
+
+}  // namespace dtt

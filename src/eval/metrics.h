@@ -1,0 +1,47 @@
+#ifndef DTT_EVAL_METRICS_H_
+#define DTT_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/joiner.h"
+
+namespace dtt {
+
+/// Join quality (§5.4): precision = correct matches / attempted matches,
+/// recall = correct matches / total rows, F1 = harmonic mean.
+struct JoinMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t matched = 0;
+  size_t correct = 0;
+  size_t total = 0;
+};
+
+/// Scores a join against gold targets: a match is correct when the matched
+/// target *value* equals the row's gold target (value equality, so duplicate
+/// target values are never penalized).
+JoinMetrics ScoreJoin(const JoinResult& join,
+                      const std::vector<std::string>& gold_targets,
+                      const std::vector<std::string>& target_values);
+
+/// Prediction quality (§5.4): Average Edit Distance and Average Normalized
+/// Edit Distance between predictions and gold targets.
+struct PredictionMetrics {
+  double aed = 0.0;
+  double aned = 0.0;
+  size_t count = 0;
+};
+
+PredictionMetrics ScorePredictions(const std::vector<std::string>& predictions,
+                                   const std::vector<std::string>& gold);
+
+/// Macro-average helpers (the paper averages per-table metrics per dataset).
+JoinMetrics AverageJoin(const std::vector<JoinMetrics>& per_table);
+PredictionMetrics AveragePredictions(
+    const std::vector<PredictionMetrics>& per_table);
+
+}  // namespace dtt
+
+#endif  // DTT_EVAL_METRICS_H_

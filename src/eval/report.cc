@@ -1,0 +1,77 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dtt {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToMarkdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      out += " " + (c < row.size() ? row[c] : "") + " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) line += ",";
+      line += cells[c];
+    }
+    return line;
+  };
+  std::string out = join(headers_) + "\n";
+  for (const auto& row : rows_) out += join(row) + "\n";
+  return out;
+}
+
+void PrintBanner(const std::string& title, std::ostream& os) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace dtt

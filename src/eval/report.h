@@ -1,0 +1,39 @@
+#ifndef DTT_EVAL_REPORT_H_
+#define DTT_EVAL_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dtt {
+
+/// Fixed-width console table used by every experiment binary to print
+/// paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  void Print(std::ostream& os = std::cout) const;
+
+  /// Markdown rendering (for EXPERIMENTS.md snippets).
+  std::string ToMarkdown() const;
+
+  /// CSV rendering (machine-readable output).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner: "==== title ====".
+void PrintBanner(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace dtt
+
+#endif  // DTT_EVAL_REPORT_H_

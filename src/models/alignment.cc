@@ -1,0 +1,635 @@
+#include "models/alignment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace dtt {
+namespace induction {
+
+std::string ApplyCase(CaseOp op, std::string_view s) {
+  switch (op) {
+    case CaseOp::kNone:
+      return std::string(s);
+    case CaseOp::kLower:
+      return ToLower(s);
+    case CaseOp::kUpper:
+      return ToUpper(s);
+  }
+  return std::string(s);
+}
+
+std::optional<size_t> PosRef::Resolve(size_t n) const {
+  if (index < 0) return std::nullopt;
+  size_t i = static_cast<size_t>(index);
+  if (i > n) return std::nullopt;
+  return from_end ? n - i : i;
+}
+
+size_t PosRef::ResolveClamped(size_t n) const {
+  if (index < 0) return 0;
+  size_t i = static_cast<size_t>(index);
+  if (from_end) return i > n ? 0 : n - i;
+  return std::min(i, n);
+}
+
+namespace {
+
+const char* CaseName(CaseOp op) {
+  switch (op) {
+    case CaseOp::kNone:
+      return "n";
+    case CaseOp::kLower:
+      return "l";
+    case CaseOp::kUpper:
+      return "u";
+  }
+  return "?";
+}
+
+std::string PosKey(const PosRef& p) {
+  return StrFormat("%d%c", p.index, p.from_end ? 'e' : 's');
+}
+
+}  // namespace
+
+TokenCache::TokenCache(std::string_view input, std::string_view separators)
+    : input_(input), separators_(separators) {
+  for (char c : separators_) {
+    if (input_.find(c) != std::string::npos) present_.push_back(c);
+  }
+}
+
+const std::vector<std::string>& TokenCache::Tokens(char family) const {
+  for (const auto& [f, tokens] : families_) {
+    if (f == family) return tokens;
+  }
+  std::string_view seps =
+      family == 0 ? std::string_view(separators_) : std::string_view(&family, 1);
+  families_.emplace_back(family, SplitAny(input_, seps));
+  return families_.back().second;
+}
+
+std::optional<std::string> Atom::Apply(const TokenCache& cache) const {
+  // Clamping semantics throughout, mirroring the transformation DSL: an
+  // out-of-range substr yields the empty string, an out-of-range split index
+  // yields the empty string. Programs therefore always "apply"; degenerate
+  // ones produce empty pieces.
+  std::string_view input = cache.input();
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal;
+    case Kind::kCopyRange: {
+      size_t b = begin.ResolveClamped(input.size());
+      size_t e = end.ResolveClamped(input.size());
+      if (e <= b) return std::string();
+      return ApplyCase(case_op, input.substr(b, e - b));
+    }
+    case Kind::kCopyToken: {
+      const auto& tokens = cache.Tokens(family);
+      auto k = token.Resolve(tokens.size());
+      if (!k || *k >= tokens.size()) return std::string();
+      return ApplyCase(case_op, tokens[*k]);
+    }
+    case Kind::kCopyTokenSlice: {
+      const auto& tokens = cache.Tokens(family);
+      auto k = token.Resolve(tokens.size());
+      if (!k || *k >= tokens.size()) return std::string();
+      const std::string& tok = tokens[*k];
+      size_t b = begin.ResolveClamped(tok.size());
+      size_t e = end.ResolveClamped(tok.size());
+      if (e <= b) return std::string();
+      return ApplyCase(case_op, std::string_view(tok).substr(b, e - b));
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Atom::Key() const {
+  std::string fam = family == 0 ? std::string("*") : std::string(1, family);
+  switch (kind) {
+    case Kind::kLiteral:
+      return "L:" + literal;
+    case Kind::kCopyRange:
+      return "R:" + PosKey(begin) + "," + PosKey(end) + "," + CaseName(case_op);
+    case Kind::kCopyToken:
+      return "T:" + fam + "," + PosKey(token) + "," + CaseName(case_op);
+    case Kind::kCopyTokenSlice:
+      return "S:" + fam + "," + PosKey(token) + "," + PosKey(begin) + "," +
+             PosKey(end) + "," + CaseName(case_op);
+  }
+  return "?";
+}
+
+std::optional<std::string> AtomProgram::Apply(
+    std::string_view input, std::string_view separators) const {
+  TokenCache cache(input, separators);
+  return Apply(cache);
+}
+
+std::optional<std::string> AtomProgram::Apply(const TokenCache& cache) const {
+  std::string out;
+  for (const auto& atom : atoms) {
+    auto piece = atom.Apply(cache);
+    if (!piece) return std::nullopt;
+    out += *piece;
+  }
+  return out;
+}
+
+std::string AtomProgram::Key() const {
+  std::string key;
+  for (const auto& atom : atoms) {
+    key += atom.Key();
+    key += ";";
+  }
+  return key;
+}
+
+std::vector<std::string> TokenizeCell(std::string_view s,
+                                      std::string_view separators) {
+  return SplitAny(s, separators);
+}
+
+namespace {
+
+struct Cand {
+  Atom atom;
+  size_t len;    // target characters produced
+  double score;  // contribution to the program score
+};
+
+// Max l such that ApplyCase(op, s.substr(p, l)) matches t.substr(j, l).
+size_t MatchLen(std::string_view s, size_t p, std::string_view t, size_t j,
+                CaseOp op) {
+  size_t l = 0;
+  while (p + l < s.size() && j + l < t.size()) {
+    char sc = s[p + l];
+    if (op == CaseOp::kLower) {
+      sc = static_cast<char>(std::tolower(static_cast<unsigned char>(sc)));
+    } else if (op == CaseOp::kUpper) {
+      sc = static_cast<char>(std::toupper(static_cast<unsigned char>(sc)));
+    }
+    if (sc != t[j + l]) break;
+    ++l;
+  }
+  return l;
+}
+
+// All case ops (cheapest first).
+constexpr CaseOp kCaseOps[] = {CaseOp::kNone, CaseOp::kLower, CaseOp::kUpper};
+
+// Candidates from one separator family's token decomposition.
+void AddFamilyTokenCandidates(char family,
+                              const std::vector<std::string>& tokens,
+                              std::string_view t, size_t j,
+                              const InductionConfig& cfg,
+                              std::vector<Cand>* cands) {
+  const size_t n = tokens.size();
+  const double fam_penalty = family == 0 ? 0.0 : 0.05;  // prefer generic split
+  for (size_t k = 0; k < n; ++k) {
+    const std::string& tok = tokens[k];
+    for (CaseOp op : kCaseOps) {
+      double penalty = fam_penalty + ((op == CaseOp::kNone) ? 0.0 : 0.15);
+      // Whole token.
+      if (cfg.allow_tokens && tok.size() > 0 && j + tok.size() <= t.size()) {
+        std::string cased = ApplyCase(op, tok);
+        if (t.substr(j, tok.size()) == cased) {
+          for (bool from_end : {false, true}) {
+            Atom a;
+            a.kind = Atom::Kind::kCopyToken;
+            a.family = family;
+            a.token = from_end ? PosRef{static_cast<int>(n - k), true}
+                               : PosRef{static_cast<int>(k), false};
+            a.case_op = op;
+            cands->push_back(
+                {a, tok.size(),
+                 2.0 * static_cast<double>(tok.size()) - 1.0 - penalty -
+                     (from_end ? 0.01 : 0.0)});
+          }
+        }
+      }
+      // Arbitrary [b, b+l) slices within the token (covers initials,
+      // truncation, and substring-stacked-on-split transformations).
+      if (cfg.allow_token_slice && tok.size() >= 2) {
+        size_t max_begin = std::min<size_t>(tok.size() - 1, 12);
+        for (size_t b = 0; b <= max_begin; ++b) {
+          // Longest match of the cased token tail against the target tail.
+          size_t max_l = MatchLen(tok, b, t, j, op);
+          max_l = std::min(max_l, tok.size() - b);
+          if (b == 0 && max_l == tok.size()) --max_l;  // whole token covered above
+          size_t min_l =
+              b == 0 ? 1
+                     : static_cast<size_t>(
+                           std::max(1, cfg.min_nonprefix_slice_len));
+          for (size_t l = max_l; l >= min_l; --l) {
+            if (j + l > t.size()) continue;
+            // Mid-token slices shorter than the max are rarely the intended
+            // program; keep only the two longest per (b) to bound growth.
+            if (l + 2 <= max_l && l > 1) break;
+            double slice_pen = penalty + (b == 0 ? 0.0 : 0.1);
+            for (bool from_end : {false, true}) {
+              Atom a;
+              a.kind = Atom::Kind::kCopyTokenSlice;
+              a.family = family;
+              a.token = from_end ? PosRef{static_cast<int>(n - k), true}
+                                 : PosRef{static_cast<int>(k), false};
+              if (from_end) {
+                a.begin = {static_cast<int>(tok.size() - b), true};
+                a.end = {static_cast<int>(tok.size() - (b + l)), true};
+              } else {
+                a.begin = {static_cast<int>(b), false};
+                a.end = {static_cast<int>(b + l), false};
+              }
+              a.case_op = op;
+              cands->push_back({a, l,
+                                1.8 * static_cast<double>(l) - 1.0 - slice_pen -
+                                    (from_end ? 0.01 : 0.0)});
+              // End-anchored variant "token[b:]" (substr(b, inf) stacked on
+              // split): begin from the start, end pinned to the token end.
+              if (b + l == tok.size()) {
+                Atom tail = a;
+                tail.begin = {static_cast<int>(b), false};
+                tail.end = {0, true};
+                cands->push_back({tail, l,
+                                  1.8 * static_cast<double>(l) - 1.0 -
+                                      slice_pen - 0.02 -
+                                      (from_end ? 0.01 : 0.0)});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void AddTokenCandidates(const TokenCache& cache, std::string_view t, size_t j,
+                        const InductionConfig& cfg, std::vector<Cand>* cands) {
+  AddFamilyTokenCandidates(0, cache.Tokens(0), t, j, cfg, cands);
+  for (char sep : cache.present_separators()) {
+    const auto& tokens = cache.Tokens(sep);
+    // The single-separator family only adds signal when it differs from the
+    // all-separators decomposition (i.e. tokens still contain other seps).
+    if (tokens.size() <= 1 && cache.Tokens(0).size() <= 1) continue;
+    AddFamilyTokenCandidates(sep, tokens, t, j, cfg, cands);
+  }
+}
+
+void AddCharRangeCandidates(std::string_view s, std::string_view t, size_t j,
+                            const InductionConfig& cfg,
+                            std::vector<Cand>* cands) {
+  if (!cfg.allow_char_range) return;
+  const size_t min_range =
+      static_cast<size_t>(std::max(2, cfg.min_char_range_len));
+  for (CaseOp op : kCaseOps) {
+    for (size_t p = 0; p < s.size(); ++p) {
+      size_t max_l = MatchLen(s, p, t, j, op);
+      if (max_l < min_range) continue;
+      // The maximal extension plus shorter prefixes (longer first); shorter
+      // prefixes let the cross-example intersection settle on the span length
+      // that is actually consistent.
+      for (size_t l = max_l; l >= min_range; --l) {
+        double penalty = (op == CaseOp::kNone) ? 0.0 : 0.15;
+        // All four coordinate-frame combinations: mixed frames express
+        // variable-length spans such as "position p to the end of the
+        // string" (substr(p, inf)) or whole-string case copies.
+        for (int frame = 0; frame < 4; ++frame) {
+          bool begin_from_end = frame & 1;
+          bool end_from_end = frame & 2;
+          Atom a;
+          a.kind = Atom::Kind::kCopyRange;
+          a.begin = begin_from_end
+                        ? PosRef{static_cast<int>(s.size() - p), true}
+                        : PosRef{static_cast<int>(p), false};
+          a.end = end_from_end
+                      ? PosRef{static_cast<int>(s.size() - (p + l)), true}
+                      : PosRef{static_cast<int>(p + l), false};
+          a.case_op = op;
+          cands->push_back({a, l,
+                            2.0 * static_cast<double>(l) - 1.2 - penalty -
+                                0.01 * frame});
+        }
+        if (l > 8 && l != max_l) l -= 1;  // thin out long mid-spans
+      }
+    }
+  }
+}
+
+void AddLiteralCandidates(std::string_view t, size_t j,
+                          const InductionConfig& cfg,
+                          std::vector<Cand>* cands) {
+  size_t max_l =
+      std::min<size_t>(static_cast<size_t>(cfg.max_literal_len), t.size() - j);
+  for (size_t l = 1; l <= max_l; ++l) {
+    Atom a;
+    a.kind = Atom::Kind::kLiteral;
+    a.literal = std::string(t.substr(j, l));
+    cands->push_back({a, l, 0.25 * static_cast<double>(l) - 1.0});
+  }
+}
+
+// Merges adjacent literal atoms so equivalent programs share one key.
+void CanonicalizeLiterals(AtomProgram* program) {
+  std::vector<Atom> merged;
+  for (auto& atom : program->atoms) {
+    if (atom.kind == Atom::Kind::kLiteral && !merged.empty() &&
+        merged.back().kind == Atom::Kind::kLiteral) {
+      merged.back().literal += atom.literal;
+    } else {
+      merged.push_back(std::move(atom));
+    }
+  }
+  program->atoms = std::move(merged);
+}
+
+struct Partial {
+  std::vector<Atom> atoms;
+  double score = 0.0;
+};
+
+}  // namespace
+
+std::vector<AtomProgram> SynthesizePrograms(const ExamplePair& ex,
+                                            const InductionConfig& cfg) {
+  std::vector<AtomProgram> out;
+  const std::string& s = ex.source;
+  const std::string& t = ex.target;
+  if (t.empty()) return out;
+  TokenCache cache(s, cfg.separators);
+
+  // Candidate atoms per target position.
+  std::vector<std::vector<Cand>> cands(t.size());
+  for (size_t j = 0; j < t.size(); ++j) {
+    AddTokenCandidates(cache, t, j, cfg, &cands[j]);
+    AddCharRangeCandidates(s, t, j, cfg, &cands[j]);
+    AddLiteralCandidates(t, j, cfg, &cands[j]);
+    // Keep the strongest candidates per position.
+    auto& c = cands[j];
+    std::stable_sort(c.begin(), c.end(),
+                     [](const Cand& a, const Cand& b) { return a.score > b.score; });
+    if (c.size() > 72) c.resize(72);
+  }
+
+  // Beam over target positions.
+  std::vector<std::vector<Partial>> beams(t.size() + 1);
+  beams[0].push_back({});
+  for (size_t j = 0; j < t.size(); ++j) {
+    if (beams[j].empty()) continue;
+    for (const auto& partial : beams[j]) {
+      if (static_cast<int>(partial.atoms.size()) >= cfg.max_atoms) continue;
+      for (const auto& cand : cands[j]) {
+        size_t next = j + cand.len;
+        Partial ext = partial;
+        ext.atoms.push_back(cand.atom);
+        ext.score += cand.score;
+        beams[next].push_back(std::move(ext));
+      }
+    }
+    beams[j].clear();  // free memory as we go
+    for (size_t n = j + 1; n <= t.size(); ++n) {
+      auto& beam = beams[n];
+      if (static_cast<int>(beam.size()) > cfg.beam_width * 2) {
+        std::stable_sort(beam.begin(), beam.end(),
+                         [](const Partial& a, const Partial& b) {
+                           return a.score > b.score;
+                         });
+        beam.resize(static_cast<size_t>(cfg.beam_width));
+      }
+    }
+  }
+
+  auto& done = beams[t.size()];
+  std::stable_sort(done.begin(), done.end(),
+                   [](const Partial& a, const Partial& b) {
+                     return a.score > b.score;
+                   });
+  std::unordered_set<std::string> seen;
+  for (auto& partial : done) {
+    AtomProgram program;
+    program.atoms = std::move(partial.atoms);
+    program.score = partial.score;
+    CanonicalizeLiterals(&program);
+    std::string key = program.Key();
+    if (!seen.insert(key).second) continue;
+    out.push_back(std::move(program));
+    if (static_cast<int>(out.size()) >= cfg.max_programs) break;
+  }
+  return out;
+}
+
+namespace {
+
+// Joint synthesis over two examples (the FlashFill-style version-space
+// intersection): a DP over position pairs (j1, j2) of the two targets where
+// every candidate atom must produce matching pieces for BOTH examples under
+// the SAME positional descriptor. Far more complete than intersecting two
+// independently-ranked program lists, and cheaper too.
+std::vector<AtomProgram> JointSynthesize(const ExamplePair& ex1,
+                                         const ExamplePair& ex2,
+                                         const InductionConfig& cfg) {
+  std::vector<AtomProgram> out;
+  const std::string& t1 = ex1.target;
+  const std::string& t2 = ex2.target;
+  if (t1.empty() || t2.empty()) return out;
+  TokenCache cache1(ex1.source, cfg.separators);
+  TokenCache cache2(ex2.source, cfg.separators);
+
+  // Candidate atoms anchored on example 1's positions (as in the
+  // single-example synthesis); each is validated against example 2 lazily.
+  std::vector<std::vector<Cand>> cands1(t1.size());
+  for (size_t j = 0; j < t1.size(); ++j) {
+    AddTokenCandidates(cache1, t1, j, cfg, &cands1[j]);
+    AddCharRangeCandidates(ex1.source, t1, j, cfg, &cands1[j]);
+    AddLiteralCandidates(t1, j, cfg, &cands1[j]);
+    auto& c = cands1[j];
+    std::stable_sort(c.begin(), c.end(), [](const Cand& a, const Cand& b) {
+      return a.score > b.score;
+    });
+    if (c.size() > 72) c.resize(72);
+  }
+
+  // dp[j1][j2]: best partial programs reaching (j1, j2).
+  constexpr size_t kPerState = 4;
+  const size_t n1 = t1.size() + 1;
+  const size_t n2 = t2.size() + 1;
+  std::vector<std::vector<std::vector<Partial>>> dp(
+      n1, std::vector<std::vector<Partial>>(n2));
+  dp[0][0].push_back({});
+  auto keep_top = [](std::vector<Partial>* v, size_t cap) {
+    if (v->size() <= cap) return;
+    std::stable_sort(v->begin(), v->end(), [](const Partial& a,
+                                              const Partial& b) {
+      return a.score > b.score;
+    });
+    v->resize(cap);
+  };
+
+  // Process states in increasing j1 (atoms always consume >= 1 char of t1).
+  for (size_t j1 = 0; j1 < t1.size(); ++j1) {
+    for (size_t j2 = 0; j2 <= t2.size(); ++j2) {
+      auto& here = dp[j1][j2];
+      if (here.empty()) continue;
+      keep_top(&here, kPerState);
+      for (const auto& cand : cands1[j1]) {
+        // The same descriptor must produce a matching piece for example 2.
+        auto piece2 = cand.atom.Apply(cache2);
+        if (!piece2) continue;
+        if (t2.compare(j2, piece2->size(), *piece2) != 0) continue;
+        size_t next2 = j2 + piece2->size();
+        size_t next1 = j1 + cand.len;
+        for (const auto& partial : here) {
+          if (static_cast<int>(partial.atoms.size()) >= cfg.max_atoms) continue;
+          Partial ext = partial;
+          ext.atoms.push_back(cand.atom);
+          ext.score += cand.score;
+          dp[next1][next2].push_back(std::move(ext));
+        }
+      }
+      here.clear();
+      here.shrink_to_fit();
+    }
+  }
+
+  auto& done = dp[t1.size()][t2.size()];
+  std::stable_sort(done.begin(), done.end(),
+                   [](const Partial& a, const Partial& b) {
+                     return a.score > b.score;
+                   });
+  std::unordered_set<std::string> seen;
+  for (auto& partial : done) {
+    AtomProgram program;
+    program.atoms = std::move(partial.atoms);
+    program.score = partial.score;
+    CanonicalizeLiterals(&program);
+    if (!seen.insert(program.Key()).second) continue;
+    out.push_back(std::move(program));
+    if (static_cast<int>(out.size()) >= cfg.max_programs) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AtomProgram> SynthesizeCommonPrograms(
+    const std::vector<ExamplePair>& examples, const InductionConfig& cfg) {
+  std::vector<AtomProgram> result;
+  if (examples.empty()) return result;
+  if (examples.size() == 1) return SynthesizePrograms(examples[0], cfg);
+
+  result = JointSynthesize(examples[0], examples[1], cfg);
+  if (examples.size() == 2) return result;
+
+  // More than two examples: verify the joint programs on the rest.
+  std::vector<AtomProgram> filtered;
+  for (auto& program : result) {
+    bool ok = true;
+    for (size_t i = 2; i < examples.size() && ok; ++i) {
+      auto out = program.Apply(examples[i].source, cfg.separators);
+      ok = out && *out == examples[i].target;
+    }
+    if (ok) filtered.push_back(std::move(program));
+  }
+  return filtered;
+}
+
+std::string GlobalPattern::Apply(std::string_view input) const {
+  switch (kind) {
+    case Kind::kIdentity:
+      return std::string(input);
+    case Kind::kLower:
+      return ToLower(input);
+    case Kind::kUpper:
+      return ToUpper(input);
+    case Kind::kReverse:
+      return Reverse(ApplyCase(reverse_case, input));
+    case Kind::kCharReplace: {
+      std::string out(input);
+      for (char& c : out) {
+        for (const auto& [from, to] : char_map) {
+          if (c == from) {
+            c = to;
+            break;
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return std::string(input);
+}
+
+std::optional<GlobalPattern> DetectGlobalPattern(
+    const std::vector<ExamplePair>& examples, bool detect_replace,
+    bool detect_reverse) {
+  if (examples.empty()) return std::nullopt;
+  auto all = [&](auto&& pred) {
+    for (const auto& ex : examples) {
+      if (!pred(ex)) return false;
+    }
+    return true;
+  };
+
+  if (all([](const ExamplePair& e) { return e.target == e.source; })) {
+    return GlobalPattern{GlobalPattern::Kind::kIdentity, CaseOp::kNone, {}};
+  }
+  if (all([](const ExamplePair& e) { return e.target == ToLower(e.source); })) {
+    return GlobalPattern{GlobalPattern::Kind::kLower, CaseOp::kNone, {}};
+  }
+  if (all([](const ExamplePair& e) { return e.target == ToUpper(e.source); })) {
+    return GlobalPattern{GlobalPattern::Kind::kUpper, CaseOp::kNone, {}};
+  }
+
+  if (detect_replace &&
+      all([](const ExamplePair& e) {
+        return e.source.size() == e.target.size();
+      })) {
+    // Learn a functional per-character map across all examples.
+    std::map<char, char> mapping;
+    bool consistent = true;
+    bool differs = false;
+    for (const auto& ex : examples) {
+      for (size_t i = 0; i < ex.source.size() && consistent; ++i) {
+        char from = ex.source[i];
+        char to = ex.target[i];
+        auto it = mapping.find(from);
+        if (it == mapping.end()) {
+          mapping.emplace(from, to);
+        } else if (it->second != to) {
+          consistent = false;
+        }
+        if (from != to) differs = true;
+      }
+      if (!consistent) break;
+    }
+    if (consistent && differs) {
+      GlobalPattern p;
+      p.kind = GlobalPattern::Kind::kCharReplace;
+      for (const auto& [from, to] : mapping) {
+        if (from != to) p.char_map.emplace_back(from, to);
+      }
+      return p;
+    }
+  }
+
+  if (detect_reverse) {
+    for (CaseOp op : {CaseOp::kNone, CaseOp::kLower, CaseOp::kUpper}) {
+      if (all([op](const ExamplePair& e) {
+            return e.target == Reverse(ApplyCase(op, e.source));
+          })) {
+        GlobalPattern p;
+        p.kind = GlobalPattern::Kind::kReverse;
+        p.reverse_case = op;
+        return p;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace induction
+}  // namespace dtt

@@ -1,0 +1,3 @@
+#include "models/model.h"
+
+// Interface-only translation unit; anchors the vtable-less header.

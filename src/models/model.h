@@ -1,0 +1,34 @@
+#ifndef DTT_MODELS_MODEL_H_
+#define DTT_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "text/serializer.h"
+#include "util/status.h"
+
+namespace dtt {
+
+/// The text-in/text-out model abstraction of the DTT framework (§4.2): given
+/// a serialized prompt (k context examples + one source row), produce the
+/// predicted target row. An empty string means the model abstained (the
+/// paper: "the language models may just return <eos> with no prediction").
+///
+/// Implementations:
+///  * NeuralSeq2SeqModel  — the from-scratch byte-level transformer
+///  * PatternInductionModel — simulated fine-tuned byte LM (see DESIGN.md)
+///  * KnowledgeLM — simulated general-purpose LLM (GPT-3 stand-in)
+class TextToTextModel {
+ public:
+  virtual ~TextToTextModel() = default;
+
+  /// Short stable identifier used in reports ("dtt", "gpt3-sim", ...).
+  virtual std::string name() const = 0;
+
+  /// Predicts the target for `prompt.source` given `prompt.examples`.
+  virtual Result<std::string> Transform(const Prompt& prompt) = 0;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_MODELS_MODEL_H_

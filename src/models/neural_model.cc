@@ -1,0 +1,29 @@
+#include "models/neural_model.h"
+
+namespace dtt {
+
+NeuralSeq2SeqModel::NeuralSeq2SeqModel(std::shared_ptr<nn::Transformer> model,
+                                       Serializer serializer, Options options)
+    : model_(std::move(model)),
+      serializer_(std::move(serializer)),
+      options_(options) {}
+
+Result<std::string> NeuralSeq2SeqModel::Transform(const Prompt& prompt) {
+  if (prompt.examples.empty()) {
+    return Status::InvalidArgument(
+        "NeuralSeq2SeqModel requires at least one context example");
+  }
+  std::vector<int> input_ids = serializer_.EncodePrompt(prompt);
+  if (static_cast<int>(input_ids.size()) > model_->config().max_len) {
+    return Status::OutOfRange("serialized prompt exceeds the model's input "
+                              "length limit");
+  }
+  std::vector<int> out =
+      options_.beam_size > 1
+          ? model_->BeamDecode(input_ids, options_.max_output_tokens,
+                               options_.beam_size)
+          : model_->GreedyDecode(input_ids, options_.max_output_tokens);
+  return tokenizer_.Decode(out);
+}
+
+}  // namespace dtt

@@ -1,0 +1,44 @@
+#ifndef DTT_MODELS_NEURAL_MODEL_H_
+#define DTT_MODELS_NEURAL_MODEL_H_
+
+#include <memory>
+
+#include "models/model.h"
+#include "nn/transformer.h"
+#include "text/serializer.h"
+#include "text/tokenizer.h"
+
+namespace dtt {
+
+/// The genuine neural path: wraps the from-scratch byte-level transformer as
+/// a TextToTextModel so the whole DTT pipeline (decompose, serialize,
+/// aggregate, join) runs end-to-end on a trainable model. Used by the
+/// Figure-4 training sweeps and the neural examples; the paper-scale result
+/// tables use the simulated backends (DESIGN.md §1).
+struct NeuralModelOptions {
+  int max_output_tokens = 64;
+  int beam_size = 1;  // 1 = greedy
+};
+
+class NeuralSeq2SeqModel : public TextToTextModel {
+ public:
+  using Options = NeuralModelOptions;
+
+  NeuralSeq2SeqModel(std::shared_ptr<nn::Transformer> model,
+                     Serializer serializer, Options options = {});
+
+  std::string name() const override { return "dtt-neural"; }
+  Result<std::string> Transform(const Prompt& prompt) override;
+
+  nn::Transformer* model() { return model_.get(); }
+
+ private:
+  std::shared_ptr<nn::Transformer> model_;
+  Serializer serializer_;
+  ByteTokenizer tokenizer_;
+  Options options_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_MODELS_NEURAL_MODEL_H_

@@ -1,0 +1,39 @@
+#ifndef DTT_MODELS_NOISY_MODEL_H_
+#define DTT_MODELS_NOISY_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "util/rng.h"
+
+namespace dtt {
+
+/// Replaces each character with a random printable one with probability
+/// `err_rate` (and deletes it with probability err_rate/8). This is the
+/// generation-noise model shared by the simulated LLM backends: an
+/// auto-regressive decoder does not emit exact strings, and the DTT
+/// aggregator must absorb the resulting inconsistency.
+std::string CorruptChars(const std::string& s, double err_rate, Rng* rng);
+
+/// Decorator injecting failures into any model: with probability
+/// `failure_prob` the wrapped model's output is corrupted at `char_noise`
+/// per-character rate (used by robustness tests and the ablation bench).
+class NoisyModel : public TextToTextModel {
+ public:
+  NoisyModel(std::shared_ptr<TextToTextModel> inner, double failure_prob,
+             double char_noise, uint64_t seed);
+
+  std::string name() const override;
+  Result<std::string> Transform(const Prompt& prompt) override;
+
+ private:
+  std::shared_ptr<TextToTextModel> inner_;
+  double failure_prob_;
+  double char_noise_;
+  Rng base_rng_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_MODELS_NOISY_MODEL_H_

@@ -1,0 +1,103 @@
+#include "nn/autograd.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace dtt {
+namespace nn {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  if (grad.empty()) {
+    grad = Tensor(value.shape());
+  }
+  grad.AddInPlace(g);
+}
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return Var(std::move(node));
+}
+
+Var Var::XavierParam(int fan_in, int fan_out, Rng* rng) {
+  Tensor t({fan_in, fan_out});
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = (static_cast<float>(rng->NextDouble()) * 2.0f - 1.0f) * limit;
+  }
+  return Leaf(std::move(t), /*requires_grad=*/true);
+}
+
+Var Var::GaussianParam(std::vector<int> shape, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return Leaf(std::move(t), /*requires_grad=*/true);
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order of the graph.
+void TopoSort(const std::shared_ptr<Node>& root,
+              std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Var::Backward() const {
+  assert(node_ != nullptr);
+  assert(node_->value.size() == 1 && "Backward() requires a scalar root");
+  std::vector<Node*> order;
+  TopoSort(node_, &order);
+  // Seed d(root)/d(root) = 1.
+  Tensor seed(node_->value.shape());
+  seed.Fill(1.0f);
+  node_->AccumulateGrad(seed);
+  // Reverse topological order: every node sees its full grad before pushing
+  // to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->HasGrad()) {
+      node->backward(node);
+    }
+  }
+}
+
+Var MakeOpNode(Tensor value, std::vector<Var> parents,
+               std::function<void(Node*)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p.defined()) {
+      node->parents.push_back(p.node());
+      any_grad = any_grad || p.node()->requires_grad;
+    }
+  }
+  node->requires_grad = any_grad;
+  if (any_grad) node->backward = std::move(backward);
+  return Var(std::move(node));
+}
+
+}  // namespace nn
+}  // namespace dtt

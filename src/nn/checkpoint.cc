@@ -1,0 +1,98 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace dtt {
+namespace nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'T', 'T', 'C', 'K', 'P', 'T', '1'};
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadU32(is, &n)) return false;
+  s->resize(n);
+  is.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<NamedParam>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open for write: " + path);
+  os.write(kMagic, sizeof(kMagic));
+  WriteU32(os, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    WriteString(os, p.name);
+    const Tensor& t = p.var.value();
+    WriteU32(os, static_cast<uint32_t>(t.shape().size()));
+    for (int d : t.shape()) WriteU32(os, static_cast<uint32_t>(d));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path,
+                      std::vector<NamedParam>* params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, 8) != std::string(kMagic, 8)) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadU32(is, &count)) return Status::IOError("truncated checkpoint");
+
+  std::map<std::string, NamedParam*> by_name;
+  for (auto& p : *params) by_name[p.name] = &p;
+  if (count != params->size()) {
+    return Status::InvalidArgument("checkpoint has different parameter count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!ReadString(is, &name)) return Status::IOError("truncated checkpoint");
+    uint32_t rank = 0;
+    if (!ReadU32(is, &rank)) return Status::IOError("truncated checkpoint");
+    std::vector<int> shape(rank);
+    for (auto& d : shape) {
+      uint32_t v = 0;
+      if (!ReadU32(is, &v)) return Status::IOError("truncated checkpoint");
+      d = static_cast<int>(v);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("unknown parameter in checkpoint: " + name);
+    }
+    Tensor& t = it->second->var.mutable_value();
+    if (t.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for parameter: " + name);
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!is) return Status::IOError("truncated checkpoint data");
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace dtt

@@ -1,0 +1,25 @@
+#ifndef DTT_NN_CHECKPOINT_H_
+#define DTT_NN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace dtt {
+namespace nn {
+
+/// Writes parameters to a simple binary container:
+///   magic "DTTCKPT1", u32 count, then per-param: name, shape, float data.
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<NamedParam>& params);
+
+/// Loads a checkpoint into existing parameters. Names and shapes must match
+/// exactly (the model must be constructed with the same config first).
+Status LoadCheckpoint(const std::string& path, std::vector<NamedParam>* params);
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_CHECKPOINT_H_

@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dtt {
+namespace nn {
+
+Adam::Adam(std::vector<NamedParam> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.var.value().shape());
+    v_.emplace_back(p.var.value().shape());
+  }
+}
+
+float Adam::CurrentLr() const {
+  if (options_.warmup_steps <= 0) return options_.lr;
+  double s = static_cast<double>(std::max<int64_t>(step_, 1));
+  double w = options_.warmup_steps;
+  double scale = std::min(1.0 / std::sqrt(s), s / (w * std::sqrt(w)));
+  return static_cast<float>(options_.lr * std::sqrt(w) * scale);
+}
+
+void Adam::Step() {
+  ++step_;
+  // Global gradient norm for clipping.
+  double sq = 0.0;
+  for (auto& p : params_) {
+    if (!p.var.node()->HasGrad()) continue;
+    const Tensor& g = p.var.grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  last_grad_norm_ = static_cast<float>(std::sqrt(sq));
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f && last_grad_norm_ > options_.clip_norm) {
+    clip_scale = options_.clip_norm / (last_grad_norm_ + 1e-12f);
+  }
+
+  const float lr = CurrentLr();
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    if (!p.var.node()->HasGrad()) continue;
+    Tensor& w = p.var.mutable_value();
+    const Tensor& g = p.var.grad();
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (size_t i = 0; i < w.size(); ++i) {
+      float gi = g.data()[i] * clip_scale;
+      if (options_.weight_decay > 0.0f) {
+        gi += options_.weight_decay * w.data()[i];
+      }
+      m.data()[i] = options_.beta1 * m.data()[i] + (1.0f - options_.beta1) * gi;
+      v.data()[i] =
+          options_.beta2 * v.data()[i] + (1.0f - options_.beta2) * gi * gi;
+      float mhat = m.data()[i] / bc1;
+      float vhat = v.data()[i] / bc2;
+      w.data()[i] -= lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.var.node()->ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace dtt

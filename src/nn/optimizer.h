@@ -1,0 +1,52 @@
+#ifndef DTT_NN_OPTIMIZER_H_
+#define DTT_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace dtt {
+namespace nn {
+
+/// Adam options; the schedule is inverse-sqrt with linear warmup (the T5
+/// recipe), falling back to a constant rate when warmup_steps == 0.
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  int warmup_steps = 0;
+  float clip_norm = 1.0f;  // global gradient-norm clip; <= 0 disables
+};
+
+/// Adam over a fixed parameter list.
+class Adam {
+ public:
+  Adam(std::vector<NamedParam> params, AdamOptions options);
+
+  /// Applies one update from accumulated gradients, then clears them.
+  void Step();
+
+  /// Clears gradients without updating.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_; }
+  /// Effective learning rate at the current step.
+  float CurrentLr() const;
+  /// Global gradient norm of the last Step() (pre-clipping).
+  float last_grad_norm() const { return last_grad_norm_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  AdamOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_ = 0;
+  float last_grad_norm_ = 0.0f;
+};
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_OPTIMIZER_H_

@@ -1,0 +1,82 @@
+#include "nn/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dtt {
+namespace nn {
+
+namespace {
+size_t NumElements(const std::vector<int>& shape) {
+  size_t n = 1;
+  for (int d : shape) {
+    assert(d >= 0);
+    n *= static_cast<size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t({static_cast<int>(values.size())});
+  for (size_t i = 0; i < values.size(); ++i) t.data_[i] = values[i];
+  return t;
+}
+
+Tensor Tensor::FromMatrix(int rows, int cols,
+                          const std::vector<float>& values) {
+  assert(values.size() == static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  Tensor t({rows, cols});
+  for (size_t i = 0; i < values.size(); ++i) t.data_[i] = values[i];
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AxpyInPlace(float alpha, const Tensor& b) {
+  assert(SameShape(b));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * b.data_[i];
+}
+
+float Tensor::Sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Tensor::L2Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace nn
+}  // namespace dtt

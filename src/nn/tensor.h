@@ -1,0 +1,69 @@
+#ifndef DTT_NN_TENSOR_H_
+#define DTT_NN_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dtt {
+namespace nn {
+
+/// Dense row-major float tensor. Rank 1 or 2 is enough for the whole model:
+/// sequences are [T, D] matrices and attention runs per head. Kept dumb on
+/// purpose — all smart behaviour lives in the autograd ops.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Uninitialized (zero-filled) tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int> shape, float value);
+
+  /// 1-D from values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  /// 2-D from row-major values; values.size() must equal rows*cols.
+  static Tensor FromMatrix(int rows, int cols, const std::vector<float>& values);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int i) { return data_[static_cast<size_t>(i)]; }
+  float at(int i) const { return data_[static_cast<size_t>(i)]; }
+  /// 2-D accessors (rank must be 2).
+  float& at(int r, int c) { return data_[static_cast<size_t>(r) * cols() + c]; }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols() + c];
+  }
+
+  int rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  int cols() const { return rank() < 2 ? 1 : shape_[1]; }
+
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);           // this += other
+  void AxpyInPlace(float alpha, const Tensor& b); // this += alpha * b
+
+  /// Sum of all elements / L2 norm (used by grad clipping and tests).
+  float Sum() const;
+  float L2Norm() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_TENSOR_H_

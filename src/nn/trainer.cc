@@ -1,0 +1,109 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/edit_distance.h"
+
+namespace dtt {
+namespace nn {
+
+Seq2SeqTrainer::Seq2SeqTrainer(Transformer* model, Serializer serializer,
+                               TrainerOptions options)
+    : model_(model),
+      serializer_(std::move(serializer)),
+      options_(std::move(options)),
+      optimizer_(model->Params(), options_.adam) {}
+
+float Seq2SeqTrainer::InstanceLoss(const TrainingInstance& inst,
+                                   bool backprop) {
+  Prompt prompt{inst.context, inst.input_source};
+  std::vector<int> input_ids = serializer_.EncodePrompt(prompt);
+  if (static_cast<int>(input_ids.size()) > options_.max_input_tokens) {
+    return -1.0f;  // skipped
+  }
+  // Decoder input: <sos> t1..tn ; targets: t1..tn <eos>.
+  std::vector<int> label = serializer_.EncodeLabel(inst.label);
+  if (static_cast<int>(label.size()) > options_.max_label_tokens) return -1.0f;
+  std::vector<int> dec_in(label.begin(), label.end() - 1);   // keep <sos>
+  std::vector<int> targets(label.begin() + 1, label.end());  // shift left
+
+  Var memory = model_->Encode(input_ids);
+  Var logits = model_->DecodeLogits(memory, dec_in);
+  Var loss = CrossEntropyLoss(logits, targets);
+  float value = loss.value().at(0);
+  if (backprop) loss.Backward();
+  return value;
+}
+
+float Seq2SeqTrainer::TrainEpoch(const std::vector<TrainingInstance>& instances,
+                                 Rng* rng) {
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  double epoch_loss = 0.0;
+  size_t counted = 0;
+  size_t in_batch = 0;
+  double batch_loss = 0.0;
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    float loss = InstanceLoss(instances[order[oi]], /*backprop=*/true);
+    if (loss < 0.0f) continue;  // skipped (too long)
+    epoch_loss += loss;
+    batch_loss += loss;
+    ++counted;
+    ++in_batch;
+    if (in_batch == static_cast<size_t>(options_.batch_size) ||
+        oi + 1 == order.size()) {
+      optimizer_.Step();
+      if (options_.on_step) {
+        options_.on_step(optimizer_.step_count(),
+                         static_cast<float>(batch_loss / in_batch));
+      }
+      in_batch = 0;
+      batch_loss = 0.0;
+    }
+  }
+  return counted ? static_cast<float>(epoch_loss / counted) : 0.0f;
+}
+
+void Seq2SeqTrainer::Train(const std::vector<TrainingInstance>& instances,
+                           Rng* rng) {
+  for (int e = 0; e < options_.epochs; ++e) {
+    TrainEpoch(instances, rng);
+  }
+}
+
+EvalResult Seq2SeqTrainer::Evaluate(
+    const std::vector<TrainingInstance>& instances, size_t max_instances) {
+  EvalResult result;
+  ByteTokenizer tokenizer;
+  double loss_sum = 0.0;
+  double aned_sum = 0.0;
+  size_t exact = 0;
+  size_t n = instances.size();
+  if (max_instances > 0) n = std::min(n, max_instances);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& inst = instances[i];
+    float loss = InstanceLoss(inst, /*backprop=*/false);
+    if (loss < 0.0f) continue;
+    loss_sum += loss;
+    Prompt prompt{inst.context, inst.input_source};
+    std::vector<int> input_ids = serializer_.EncodePrompt(prompt);
+    std::vector<int> out =
+        model_->GreedyDecode(input_ids, options_.max_label_tokens);
+    std::string text = tokenizer.Decode(out);
+    if (text == inst.label) ++exact;
+    aned_sum += NormalizedEditDistance(text, inst.label);
+    ++result.evaluated;
+  }
+  if (result.evaluated > 0) {
+    result.mean_loss = static_cast<float>(loss_sum / result.evaluated);
+    result.exact_match = static_cast<double>(exact) / result.evaluated;
+    result.mean_aned = aned_sum / result.evaluated;
+  }
+  return result;
+}
+
+}  // namespace nn
+}  // namespace dtt

@@ -1,0 +1,72 @@
+#ifndef DTT_NN_TRAINER_H_
+#define DTT_NN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "text/serializer.h"
+#include "transform/training_data.h"
+
+namespace dtt {
+namespace nn {
+
+/// Training configuration for the masked-target objective of §5.1.
+struct TrainerOptions {
+  int epochs = 3;
+  int batch_size = 16;  // gradient-accumulation group size
+  AdamOptions adam;
+  /// Upper bound on serialized input length; instances longer than this are
+  /// skipped (mirrors the model's hard input limit).
+  int max_input_tokens = 512;
+  int max_label_tokens = 64;
+  /// Called after every optimizer step with (step, mean loss of the batch).
+  std::function<void(int64_t, float)> on_step;
+};
+
+/// Evaluation summary on a held-out instance set.
+struct EvalResult {
+  float mean_loss = 0.0f;
+  double exact_match = 0.0;   // fraction of greedy decodes equal to the label
+  double mean_aned = 0.0;     // mean normalized edit distance of decodes
+  int evaluated = 0;
+};
+
+/// Runs teacher-forced training of a byte-level Transformer on masked
+/// transformation instances ("mask all characters in the target and predict
+/// the masked bytes", §4.2).
+class Seq2SeqTrainer {
+ public:
+  Seq2SeqTrainer(Transformer* model, Serializer serializer,
+                 TrainerOptions options);
+
+  /// One full pass over `instances` in a random order; returns mean loss.
+  float TrainEpoch(const std::vector<TrainingInstance>& instances, Rng* rng);
+
+  /// Trains for options().epochs epochs.
+  void Train(const std::vector<TrainingInstance>& instances, Rng* rng);
+
+  /// Teacher-forced loss of one instance (no gradient side effects unless
+  /// `backprop`).
+  float InstanceLoss(const TrainingInstance& inst, bool backprop);
+
+  /// Greedy-decodes every instance and scores exact match / ANED; decodes at
+  /// most `max_instances` (0 = all).
+  EvalResult Evaluate(const std::vector<TrainingInstance>& instances,
+                      size_t max_instances = 0);
+
+  const TrainerOptions& options() const { return options_; }
+  Adam& optimizer() { return optimizer_; }
+
+ private:
+  Transformer* model_;
+  Serializer serializer_;
+  TrainerOptions options_;
+  Adam optimizer_;
+};
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_TRAINER_H_

@@ -1,0 +1,215 @@
+#include "nn/transformer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "text/vocab.h"
+
+namespace dtt {
+namespace nn {
+
+EncoderLayer::EncoderLayer(const TransformerConfig& cfg, Rng* rng)
+    : ln1_(cfg.dim),
+      self_attn_(cfg.dim, cfg.num_heads, rng),
+      ln2_(cfg.dim),
+      ff_(cfg.dim, cfg.ff_hidden, rng) {}
+
+Var EncoderLayer::Forward(const Var& x) const {
+  Var h = Add(x, self_attn_.Forward(ln1_.Forward(x), ln1_.Forward(x),
+                                    /*causal=*/false));
+  return Add(h, ff_.Forward(ln2_.Forward(h)));
+}
+
+void EncoderLayer::CollectParams(const std::string& prefix,
+                                 std::vector<NamedParam>* out) {
+  ln1_.CollectParams(prefix + ".ln1", out);
+  self_attn_.CollectParams(prefix + ".self", out);
+  ln2_.CollectParams(prefix + ".ln2", out);
+  ff_.CollectParams(prefix + ".ff", out);
+}
+
+DecoderLayer::DecoderLayer(const TransformerConfig& cfg, Rng* rng)
+    : ln1_(cfg.dim),
+      self_attn_(cfg.dim, cfg.num_heads, rng),
+      ln2_(cfg.dim),
+      cross_attn_(cfg.dim, cfg.num_heads, rng),
+      ln3_(cfg.dim),
+      ff_(cfg.dim, cfg.ff_hidden, rng) {}
+
+Var DecoderLayer::Forward(const Var& x, const Var& memory) const {
+  Var n1 = ln1_.Forward(x);
+  Var h = Add(x, self_attn_.Forward(n1, n1, /*causal=*/true));
+  Var n2 = ln2_.Forward(h);
+  h = Add(h, cross_attn_.Forward(n2, memory, /*causal=*/false));
+  return Add(h, ff_.Forward(ln3_.Forward(h)));
+}
+
+void DecoderLayer::CollectParams(const std::string& prefix,
+                                 std::vector<NamedParam>* out) {
+  ln1_.CollectParams(prefix + ".ln1", out);
+  self_attn_.CollectParams(prefix + ".self", out);
+  ln2_.CollectParams(prefix + ".ln2", out);
+  cross_attn_.CollectParams(prefix + ".cross", out);
+  ln3_.CollectParams(prefix + ".ln3", out);
+  ff_.CollectParams(prefix + ".ff", out);
+}
+
+Transformer::Transformer(TransformerConfig cfg, Rng* rng)
+    : cfg_(cfg),
+      embedding_(cfg.vocab_size, cfg.dim, rng),
+      positions_(SinusoidalPositions(cfg.max_len, cfg.dim)),
+      final_ln_(cfg.dim),
+      lm_head_(cfg.dim, cfg.vocab_size, rng) {
+  for (int i = 0; i < cfg.encoder_layers; ++i) {
+    encoder_.push_back(std::make_unique<EncoderLayer>(cfg, rng));
+  }
+  for (int i = 0; i < cfg.decoder_layers; ++i) {
+    decoder_.push_back(std::make_unique<DecoderLayer>(cfg, rng));
+  }
+}
+
+Var Transformer::Embed(const std::vector<int>& ids) const {
+  assert(static_cast<int>(ids.size()) <= cfg_.max_len);
+  Var emb = embedding_.Forward(ids);
+  // Add (constant) sinusoidal positions for the sequence prefix.
+  Tensor pos({static_cast<int>(ids.size()), cfg_.dim});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int j = 0; j < cfg_.dim; ++j) {
+      pos.at(static_cast<int>(i), j) = positions_.at(static_cast<int>(i), j);
+    }
+  }
+  return AddConst(emb, std::move(pos));
+}
+
+Var Transformer::Encode(const std::vector<int>& input_ids) const {
+  Var h = Embed(input_ids);
+  for (const auto& layer : encoder_) {
+    h = layer->Forward(h);
+  }
+  return h;
+}
+
+Var Transformer::DecodeLogits(const Var& memory,
+                              const std::vector<int>& decoder_ids) const {
+  Var h = Embed(decoder_ids);
+  for (const auto& layer : decoder_) {
+    h = layer->Forward(h, memory);
+  }
+  return lm_head_.Forward(final_ln_.Forward(h));
+}
+
+std::vector<int> Transformer::GreedyDecode(const std::vector<int>& input_ids,
+                                           int max_steps) const {
+  Var memory = Encode(input_ids);
+  std::vector<int> generated;
+  std::vector<int> dec = {Vocab::kSos};
+  for (int step = 0; step < max_steps; ++step) {
+    Var logits = DecodeLogits(memory, dec);
+    const Tensor& lv = logits.value();
+    const int last = lv.rows() - 1;
+    int best = 0;
+    float best_v = lv.at(last, 0);
+    for (int j = 1; j < lv.cols(); ++j) {
+      if (lv.at(last, j) > best_v) {
+        best_v = lv.at(last, j);
+        best = j;
+      }
+    }
+    if (best == Vocab::kEos) break;
+    generated.push_back(best);
+    dec.push_back(best);
+    if (static_cast<int>(dec.size()) >= cfg_.max_len) break;
+  }
+  return generated;
+}
+
+std::vector<int> Transformer::BeamDecode(const std::vector<int>& input_ids,
+                                         int max_steps, int beam_size) const {
+  struct Hyp {
+    std::vector<int> ids;  // includes <sos>
+    double logp = 0.0;
+    bool done = false;
+  };
+  Var memory = Encode(input_ids);
+  std::vector<Hyp> beams = {{{Vocab::kSos}, 0.0, false}};
+  for (int step = 0; step < max_steps; ++step) {
+    std::vector<Hyp> next;
+    for (const auto& hyp : beams) {
+      if (hyp.done) {
+        next.push_back(hyp);
+        continue;
+      }
+      Var logits = DecodeLogits(memory, hyp.ids);
+      const Tensor& lv = logits.value();
+      const int last = lv.rows() - 1;
+      // Log-softmax of the last row.
+      float mx = lv.at(last, 0);
+      for (int j = 1; j < lv.cols(); ++j) mx = std::max(mx, lv.at(last, j));
+      double lse = 0.0;
+      for (int j = 0; j < lv.cols(); ++j) {
+        lse += std::exp(static_cast<double>(lv.at(last, j) - mx));
+      }
+      lse = std::log(lse) + mx;
+      // Top beam_size continuations of this hypothesis.
+      std::vector<std::pair<double, int>> scored;
+      scored.reserve(static_cast<size_t>(lv.cols()));
+      for (int j = 0; j < lv.cols(); ++j) {
+        scored.emplace_back(static_cast<double>(lv.at(last, j)) - lse, j);
+      }
+      std::partial_sort(scored.begin(),
+                        scored.begin() + std::min<size_t>(scored.size(),
+                                                          beam_size),
+                        scored.end(), std::greater<>());
+      for (int c = 0; c < beam_size && c < static_cast<int>(scored.size());
+           ++c) {
+        Hyp h2 = hyp;
+        h2.logp += scored[static_cast<size_t>(c)].first;
+        int tok = scored[static_cast<size_t>(c)].second;
+        if (tok == Vocab::kEos) {
+          h2.done = true;
+        } else {
+          h2.ids.push_back(tok);
+        }
+        next.push_back(std::move(h2));
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Hyp& a, const Hyp& b) { return a.logp > b.logp; });
+    if (static_cast<int>(next.size()) > beam_size) next.resize(beam_size);
+    beams = std::move(next);
+    bool all_done = true;
+    for (const auto& h : beams) all_done = all_done && h.done;
+    if (all_done) break;
+  }
+  std::vector<int> out(beams[0].ids.begin() + 1, beams[0].ids.end());
+  return out;
+}
+
+void Transformer::CollectParams(const std::string& prefix,
+                                std::vector<NamedParam>* out) {
+  embedding_.CollectParams(prefix + ".embed", out);
+  for (size_t i = 0; i < encoder_.size(); ++i) {
+    encoder_[i]->CollectParams(prefix + ".enc" + std::to_string(i), out);
+  }
+  for (size_t i = 0; i < decoder_.size(); ++i) {
+    decoder_[i]->CollectParams(prefix + ".dec" + std::to_string(i), out);
+  }
+  final_ln_.CollectParams(prefix + ".final_ln", out);
+  lm_head_.CollectParams(prefix + ".lm_head", out);
+}
+
+std::vector<NamedParam> Transformer::Params() {
+  std::vector<NamedParam> params;
+  CollectParams("model", &params);
+  return params;
+}
+
+size_t Transformer::NumParameters() {
+  size_t n = 0;
+  for (const auto& p : Params()) n += p.var.value().size();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace dtt

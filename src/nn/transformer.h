@@ -1,0 +1,111 @@
+#ifndef DTT_NN_TRANSFORMER_H_
+#define DTT_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+
+namespace dtt {
+namespace nn {
+
+/// Hyper-parameters of the byte-level encoder-decoder transformer. Defaults
+/// follow the ByT5 recipe in miniature: the encoder is deeper than the
+/// decoder ("unbalanced architecture", §4.2: ByT5's encoder is 3x the
+/// decoder depth).
+struct TransformerConfig {
+  int vocab_size = 261;   // Vocab::kSize
+  int dim = 64;           // model width
+  int num_heads = 4;
+  int ff_hidden = 128;
+  int encoder_layers = 3;
+  int decoder_layers = 1;  // unbalanced 3:1 like ByT5
+  int max_len = 512;
+  float dropout = 0.0f;
+};
+
+/// One pre-norm encoder block: LN -> self-attn -> +res, LN -> FF -> +res.
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(const TransformerConfig& cfg, Rng* rng);
+
+  Var Forward(const Var& x) const;
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) override;
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention self_attn_;
+  LayerNorm ln2_;
+  FeedForward ff_;
+};
+
+/// One pre-norm decoder block: causal self-attn, cross-attn over encoder
+/// memory, feed-forward; each with residual connections.
+class DecoderLayer : public Module {
+ public:
+  DecoderLayer(const TransformerConfig& cfg, Rng* rng);
+
+  Var Forward(const Var& x, const Var& memory) const;
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) override;
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention self_attn_;
+  LayerNorm ln2_;
+  MultiHeadAttention cross_attn_;
+  LayerNorm ln3_;
+  FeedForward ff_;
+};
+
+/// The full sequence-to-sequence model operating on token-id sequences.
+/// Single-sequence (unbatched) forward; training batches via gradient
+/// accumulation, which is numerically identical.
+class Transformer : public Module {
+ public:
+  Transformer(TransformerConfig cfg, Rng* rng);
+
+  /// Runs the encoder over the serialized prompt -> memory [Ts, D].
+  Var Encode(const std::vector<int>& input_ids) const;
+
+  /// Teacher-forcing decoder pass: given memory and decoder input ids
+  /// (<sos> t1 .. tn), returns logits [n+1, V] predicting (t1 .. tn <eos>).
+  Var DecodeLogits(const Var& memory, const std::vector<int>& decoder_ids) const;
+
+  /// Greedy decoding until <eos> or `max_steps`. Returns generated ids
+  /// (without <sos>/<eos>).
+  std::vector<int> GreedyDecode(const std::vector<int>& input_ids,
+                                int max_steps) const;
+
+  /// Beam-search decoding (beam = `beam_size`); returns the best hypothesis.
+  std::vector<int> BeamDecode(const std::vector<int>& input_ids, int max_steps,
+                              int beam_size) const;
+
+  void CollectParams(const std::string& prefix,
+                     std::vector<NamedParam>* out) override;
+
+  /// All parameters, named; stable order across runs.
+  std::vector<NamedParam> Params();
+
+  const TransformerConfig& config() const { return cfg_; }
+
+  /// Total scalar parameter count.
+  size_t NumParameters();
+
+ private:
+  TransformerConfig cfg_;
+  Embedding embedding_;  // shared between encoder and decoder inputs
+  Tensor positions_;     // precomputed sinusoidal table [max_len, D]
+  std::vector<std::unique_ptr<EncoderLayer>> encoder_;
+  std::vector<std::unique_ptr<DecoderLayer>> decoder_;
+  LayerNorm final_ln_;
+  Linear lm_head_;
+
+  Var Embed(const std::vector<int>& ids) const;
+};
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_TRANSFORMER_H_

@@ -1,0 +1,99 @@
+#include "text/decomposer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dtt {
+
+namespace {
+
+// Number of k-subsets of n items, saturating to avoid overflow.
+uint64_t Choose(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t num = n - i;
+    uint64_t den = i + 1;
+    if (result > UINT64_MAX / num) return UINT64_MAX;
+    result = result * num / den;
+  }
+  return result;
+}
+
+// Enumerates all k-subsets of [0, n) in lexicographic order.
+void EnumerateSubsets(size_t n, size_t k,
+                      std::vector<std::vector<size_t>>* out) {
+  if (k == 0 || k > n) return;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    out->push_back(idx);
+    // Find the rightmost index that can still be advanced.
+    size_t i = k;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<ExamplePair>> Decomposer::MakeContexts(
+    const std::vector<ExamplePair>& examples, Rng* rng) const {
+  std::vector<std::vector<ExamplePair>> contexts;
+  const size_t n = examples.size();
+  const size_t k = static_cast<size_t>(
+      std::max(1, std::min<int>(options_.context_size,
+                                static_cast<int>(n))));
+  if (n == 0) return contexts;
+
+  const uint64_t total = Choose(n, k);
+  if (total <= static_cast<uint64_t>(options_.num_trials)) {
+    std::vector<std::vector<size_t>> subsets;
+    EnumerateSubsets(n, k, &subsets);
+    for (const auto& subset : subsets) {
+      std::vector<ExamplePair> ctx;
+      for (size_t i : subset) ctx.push_back(examples[i]);
+      contexts.push_back(std::move(ctx));
+    }
+    return contexts;
+  }
+
+  // Draw num_trials distinct subsets at random.
+  std::set<std::vector<size_t>> seen;
+  int guard = options_.num_trials * 20;
+  while (static_cast<int>(contexts.size()) < options_.num_trials &&
+         guard-- > 0) {
+    auto idx = rng->Sample(n, k);
+    std::sort(idx.begin(), idx.end());
+    if (!seen.insert(idx).second) continue;
+    std::vector<ExamplePair> ctx;
+    for (size_t i : idx) ctx.push_back(examples[i]);
+    contexts.push_back(std::move(ctx));
+  }
+  return contexts;
+}
+
+std::vector<Prompt> Decomposer::MakePrompts(
+    const std::string& source, const std::vector<ExamplePair>& examples,
+    Rng* rng) const {
+  std::vector<Prompt> prompts;
+  for (auto& ctx : MakeContexts(examples, rng)) {
+    Prompt p;
+    p.examples = std::move(ctx);
+    p.source = source;
+    prompts.push_back(std::move(p));
+  }
+  return prompts;
+}
+
+}  // namespace dtt

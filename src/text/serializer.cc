@@ -1,0 +1,62 @@
+#include "text/serializer.h"
+
+#include <algorithm>
+
+namespace dtt {
+
+int Serializer::RowBudget(int num_examples) const {
+  // §4.1 gives ⌊L/(2k+1)⌋ "ignoring special tokens and separators"; we also
+  // reserve the 2k+3 specials (<sos>, k x (<tr>,<eoe>), <tr>, <eos>) so the
+  // serialized prompt genuinely fits within max_tokens.
+  int rows = 2 * num_examples + 1;
+  int specials = 2 * num_examples + 3;
+  return std::max(1, (options_.max_tokens - specials) / rows);
+}
+
+std::string Serializer::Truncate(const std::string& row, int budget) const {
+  if (!options_.enforce_row_budget) return row;
+  if (static_cast<int>(row.size()) <= budget) return row;
+  return row.substr(0, static_cast<size_t>(budget));
+}
+
+std::vector<int> Serializer::EncodePrompt(const Prompt& prompt) const {
+  const int budget = RowBudget(static_cast<int>(prompt.examples.size()));
+  std::vector<int> ids;
+  ids.push_back(Vocab::kSos);
+  for (const auto& ex : prompt.examples) {
+    for (unsigned char b : Truncate(ex.source, budget)) {
+      ids.push_back(Vocab::ByteToken(b));
+    }
+    ids.push_back(Vocab::kTr);
+    for (unsigned char b : Truncate(ex.target, budget)) {
+      ids.push_back(Vocab::ByteToken(b));
+    }
+    ids.push_back(Vocab::kEoe);
+  }
+  for (unsigned char b : Truncate(prompt.source, budget)) {
+    ids.push_back(Vocab::ByteToken(b));
+  }
+  ids.push_back(Vocab::kTr);
+  ids.push_back(Vocab::kEos);
+  return ids;
+}
+
+std::vector<int> Serializer::EncodeLabel(const std::string& target) const {
+  return tokenizer_.Encode(target, /*add_sos_eos=*/true);
+}
+
+std::string Serializer::RenderPrompt(const Prompt& prompt) const {
+  const int budget = RowBudget(static_cast<int>(prompt.examples.size()));
+  std::string out = "<sos>";
+  for (const auto& ex : prompt.examples) {
+    out += Truncate(ex.source, budget);
+    out += "<tr>";
+    out += Truncate(ex.target, budget);
+    out += "<eoe>";
+  }
+  out += Truncate(prompt.source, budget);
+  out += "<tr><eos>";
+  return out;
+}
+
+}  // namespace dtt

@@ -1,0 +1,30 @@
+#include "text/tokenizer.h"
+
+namespace dtt {
+
+std::vector<int> ByteTokenizer::Encode(std::string_view text,
+                                       bool add_sos_eos) const {
+  std::vector<int> ids;
+  ids.reserve(text.size() + (add_sos_eos ? 2 : 0));
+  if (add_sos_eos) ids.push_back(Vocab::kSos);
+  for (unsigned char b : text) ids.push_back(Vocab::ByteToken(b));
+  if (add_sos_eos) ids.push_back(Vocab::kEos);
+  return ids;
+}
+
+std::string ByteTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id == Vocab::kEos) break;
+    if (Vocab::IsByte(id)) out.push_back(static_cast<char>(Vocab::TokenByte(id)));
+  }
+  return out;
+}
+
+std::string ByteTokenizer::Render(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) out += Vocab::TokenName(id);
+  return out;
+}
+
+}  // namespace dtt

@@ -1,0 +1,30 @@
+#include "text/vocab.h"
+
+#include "util/string_util.h"
+
+namespace dtt {
+
+std::string Vocab::TokenName(int id) {
+  switch (id) {
+    case kPad:
+      return "<pad>";
+    case kSos:
+      return "<sos>";
+    case kEos:
+      return "<eos>";
+    case kTr:
+      return "<tr>";
+    case kEoe:
+      return "<eoe>";
+    default:
+      break;
+  }
+  if (IsByte(id)) {
+    uint8_t b = TokenByte(id);
+    if (b >= 0x20 && b < 0x7F) return std::string(1, static_cast<char>(b));
+    return StrFormat("\\x%02X", b);
+  }
+  return StrFormat("<unk:%d>", id);
+}
+
+}  // namespace dtt

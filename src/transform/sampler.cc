@@ -1,0 +1,151 @@
+#include "transform/sampler.h"
+
+#include <memory>
+
+namespace dtt {
+
+namespace {
+
+constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+constexpr char kDigits[] = "0123456789";
+constexpr char kSymbols[] = "#@&%+!?";
+
+char RandomAlpha(const SourceTextOptions& opts, Rng* rng) {
+  char c = kAlpha[rng->NextBounded(26)];
+  if (rng->NextBool(opts.upper_prob)) c = static_cast<char>(c - 'a' + 'A');
+  return c;
+}
+
+std::string RandomToken(const SourceTextOptions& opts, int len, Rng* rng) {
+  std::string tok;
+  bool numeric = rng->NextBool(opts.numeric_token_prob);
+  for (int i = 0; i < len; ++i) {
+    if (rng->NextBool(opts.symbol_prob)) {
+      tok.push_back(kSymbols[rng->NextBounded(sizeof(kSymbols) - 1)]);
+    } else if (numeric) {
+      tok.push_back(kDigits[rng->NextBounded(10)]);
+    } else {
+      tok.push_back(RandomAlpha(opts, rng));
+    }
+  }
+  return tok;
+}
+
+std::unique_ptr<TransformUnit> SampleUnit(const ProgramOptions& opts, Rng* rng,
+                                          bool allow_literal) {
+  // Weighted choice: copy-style units dominate, literals are sparse glue.
+  // 0: substr  1: split  2: lower  3: upper  4: literal
+  std::vector<double> w = {0.35, 0.30, 0.12, 0.08, allow_literal ? 0.15 : 0.0};
+  switch (rng->NextWeighted(w)) {
+    case 0: {
+      // Mix of absolute and from-the-end ranges; pieces kept short so
+      // synthesized targets do not trivially contain their sources.
+      if (rng->NextBool(0.75)) {
+        int start = static_cast<int>(rng->NextInt(0, 10));
+        int end = start + static_cast<int>(rng->NextInt(1, 7));
+        return std::make_unique<SubstringUnit>(start, end);
+      }
+      int end = -static_cast<int>(rng->NextInt(0, 6));
+      int start = end - static_cast<int>(rng->NextInt(1, 7));
+      if (end == 0) {
+        // substr(start, 0) would be empty with our clamping; use the string
+        // tail instead: substr(start, large).
+        return std::make_unique<SubstringUnit>(start, 1000);
+      }
+      return std::make_unique<SubstringUnit>(start, end);
+    }
+    case 1: {
+      char sep = opts.separators[rng->NextBounded(opts.separators.size())];
+      int index = static_cast<int>(rng->NextInt(-3, 3));
+      return std::make_unique<SplitUnit>(sep, index);
+    }
+    case 2:
+      return std::make_unique<LowercaseUnit>();
+    case 3:
+      return std::make_unique<UppercaseUnit>();
+    default: {
+      int len = static_cast<int>(rng->NextInt(1, opts.max_literal_len));
+      std::string text;
+      static constexpr char kLiteralPool[] = ".-_/, ;:";
+      for (int i = 0; i < len; ++i) {
+        if (rng->NextBool(0.6)) {
+          text.push_back(
+              kLiteralPool[rng->NextBounded(sizeof(kLiteralPool) - 1)]);
+        } else {
+          text.push_back(kAlpha[rng->NextBounded(26)]);
+        }
+      }
+      return std::make_unique<LiteralUnit>(std::move(text));
+    }
+  }
+}
+
+TransformStep SampleStep(const ProgramOptions& opts, Rng* rng) {
+  TransformStep step;
+  auto first = SampleUnit(opts, rng, /*allow_literal=*/true);
+  bool is_literal = first->kind() == UnitKind::kLiteral;
+  step.Append(std::move(first));
+  if (is_literal) return step;  // stacking on a constant is pointless
+  int depth = 1;
+  // Geometric-ish stacking: each extra unit with decreasing probability.
+  while (depth < opts.max_stack_depth && rng->NextBool(0.35)) {
+    step.Append(SampleUnit(opts, rng, /*allow_literal=*/false));
+    ++depth;
+  }
+  return step;
+}
+
+}  // namespace
+
+std::string RandomSourceText(const SourceTextOptions& opts, Rng* rng) {
+  int target_len =
+      static_cast<int>(rng->NextInt(opts.min_len, opts.max_len));
+  std::string out;
+  while (static_cast<int>(out.size()) < target_len) {
+    int tok_len = static_cast<int>(rng->NextInt(2, 8));
+    tok_len = std::min<int>(tok_len, target_len - static_cast<int>(out.size()));
+    if (tok_len <= 0) break;
+    out += RandomToken(opts, tok_len, rng);
+    if (static_cast<int>(out.size()) < target_len - 1) {
+      out.push_back(
+          opts.separators[rng->NextBounded(opts.separators.size())]);
+    }
+  }
+  if (out.empty()) out = RandomToken(opts, std::max(1, opts.min_len), rng);
+  return out;
+}
+
+TransformProgram SampleProgram(const ProgramOptions& opts, Rng* rng) {
+  int steps = static_cast<int>(rng->NextInt(opts.min_steps, opts.max_steps));
+  return SampleProgramWithSteps(opts, steps, rng);
+}
+
+TransformProgram SampleProgramWithSteps(const ProgramOptions& opts,
+                                        int num_steps, Rng* rng) {
+  SourceTextOptions probe_opts;
+  probe_opts.separators = opts.separators;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    TransformProgram program;
+    for (int i = 0; i < num_steps; ++i) {
+      program.AppendStep(SampleStep(opts, rng));
+    }
+    if (!opts.reject_degenerate) return program;
+    // Probe with a couple of random inputs; accept if the program produces a
+    // non-empty output that differs from pure literals for at least one.
+    bool productive = false;
+    for (int p = 0; p < 3 && !productive; ++p) {
+      std::string probe = RandomSourceText(probe_opts, rng);
+      std::string out = program.Apply(probe);
+      if (!out.empty()) productive = true;
+    }
+    if (productive) return program;
+  }
+  // Give up on rejection; return a guaranteed-productive single substring.
+  TransformProgram fallback;
+  TransformStep step;
+  step.Append(std::make_unique<SubstringUnit>(0, 5));
+  fallback.AppendStep(std::move(step));
+  return fallback;
+}
+
+}  // namespace dtt

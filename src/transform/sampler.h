@@ -1,0 +1,55 @@
+#ifndef DTT_TRANSFORM_SAMPLER_H_
+#define DTT_TRANSFORM_SAMPLER_H_
+
+#include <string>
+
+#include "transform/program.h"
+#include "util/rng.h"
+
+namespace dtt {
+
+/// Options controlling random source-text generation (§5.1.2: "a source text
+/// is randomly generated consisting of a mix of alphabetic and numeric
+/// characters, symbols, and special characters").
+struct SourceTextOptions {
+  int min_len = 8;
+  int max_len = 35;
+  /// Characters used to join the random tokens; also the pool split units
+  /// draw separators from.
+  std::string separators = " -_/.,:";
+  /// Probability that a token is numeric rather than alphabetic.
+  double numeric_token_prob = 0.25;
+  /// Probability a letter is upper-case.
+  double upper_prob = 0.3;
+  /// Probability of injecting a symbol character inside a token.
+  double symbol_prob = 0.05;
+};
+
+/// Generates a random structured string (tokens joined by separators) of a
+/// random length within [min_len, max_len].
+std::string RandomSourceText(const SourceTextOptions& opts, Rng* rng);
+
+/// Options controlling random program sampling.
+struct ProgramOptions {
+  int min_steps = 1;
+  int max_steps = 4;
+  int max_stack_depth = 3;  // §5.1.2: "random stacking of up to three units"
+  std::string separators = " -_/.,:";
+  int max_literal_len = 3;
+  /// When true, rejects programs that map a probe input to the empty string
+  /// (those teach the model nothing).
+  bool reject_degenerate = true;
+};
+
+/// Samples a random transformation program from the paper's unit vocabulary
+/// (substr, split, lower, upper, literal) with stacking.
+TransformProgram SampleProgram(const ProgramOptions& opts, Rng* rng);
+
+/// Samples a program with exactly `num_steps` steps (used by the Syn dataset
+/// which fixes 3..6 units).
+TransformProgram SampleProgramWithSteps(const ProgramOptions& opts,
+                                        int num_steps, Rng* rng);
+
+}  // namespace dtt
+
+#endif  // DTT_TRANSFORM_SAMPLER_H_

@@ -1,0 +1,72 @@
+#include "transform/training_data.h"
+
+#include <algorithm>
+
+namespace dtt {
+
+std::vector<TransformationGroup> TrainingDataGenerator::GenerateGroups(
+    Rng* rng) const {
+  std::vector<TransformationGroup> groups;
+  groups.reserve(options_.num_groups);
+  for (int g = 0; g < options_.num_groups; ++g) {
+    TransformationGroup group;
+    group.program = SampleProgram(options_.program, rng);
+    group.pairs.reserve(options_.pairs_per_group);
+    int attempts = 0;
+    while (static_cast<int>(group.pairs.size()) < options_.pairs_per_group &&
+           attempts < options_.pairs_per_group * 8) {
+      ++attempts;
+      std::string src = RandomSourceText(options_.source, rng);
+      std::string tgt = group.program.Apply(src);
+      // Keep pairs with a non-empty target: an all-empty grouping would teach
+      // the model only to emit <eos>.
+      if (tgt.empty() && rng->NextBool(0.9)) continue;
+      group.pairs.push_back({std::move(src), std::move(tgt)});
+    }
+    // Pad with unchecked pairs if rejection starved us.
+    while (static_cast<int>(group.pairs.size()) < options_.pairs_per_group) {
+      std::string src = RandomSourceText(options_.source, rng);
+      std::string tgt = group.program.Apply(src);
+      group.pairs.push_back({std::move(src), std::move(tgt)});
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<TrainingInstance> TrainingDataGenerator::MakeInstances(
+    const std::vector<TransformationGroup>& groups, Rng* rng) const {
+  std::vector<TrainingInstance> instances;
+  const int k = options_.examples_per_set;
+  for (const auto& group : groups) {
+    if (static_cast<int>(group.pairs.size()) < k) continue;
+    for (int s = 0; s < options_.sets_per_group; ++s) {
+      auto idx = rng->Sample(group.pairs.size(), static_cast<size_t>(k));
+      TrainingInstance inst;
+      for (int j = 0; j < k - 1; ++j) {
+        inst.context.push_back(group.pairs[idx[static_cast<size_t>(j)]]);
+      }
+      const auto& masked = group.pairs[idx[static_cast<size_t>(k - 1)]];
+      inst.input_source = masked.source;
+      inst.label = masked.target;
+      instances.push_back(std::move(inst));
+    }
+  }
+  return instances;
+}
+
+TrainingDataGenerator::SplitData TrainingDataGenerator::Generate(
+    Rng* rng) const {
+  auto groups = GenerateGroups(rng);
+  auto instances = MakeInstances(groups, rng);
+  rng->Shuffle(&instances);
+  SplitData split;
+  size_t train_n = instances.size() * 8 / 10;
+  split.train.assign(instances.begin(),
+                     instances.begin() + static_cast<long>(train_n));
+  split.validation.assign(instances.begin() + static_cast<long>(train_n),
+                          instances.end());
+  return split;
+}
+
+}  // namespace dtt

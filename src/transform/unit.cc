@@ -1,0 +1,94 @@
+#include "transform/unit.h"
+
+#include "util/string_util.h"
+
+namespace dtt {
+
+const char* UnitKindName(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kSubstring:
+      return "substr";
+    case UnitKind::kSplit:
+      return "split";
+    case UnitKind::kLowercase:
+      return "lower";
+    case UnitKind::kUppercase:
+      return "upper";
+    case UnitKind::kLiteral:
+      return "literal";
+    case UnitKind::kReverse:
+      return "reverse";
+    case UnitKind::kReplaceChar:
+      return "replace";
+  }
+  return "?";
+}
+
+namespace {
+
+// Resolves a possibly-negative index against length n, clamping to [0, n].
+size_t ResolveIndex(int idx, size_t n) {
+  long long v = idx;
+  if (v < 0) v += static_cast<long long>(n);
+  if (v < 0) v = 0;
+  if (v > static_cast<long long>(n)) v = static_cast<long long>(n);
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+std::string SubstringUnit::Apply(std::string_view input) const {
+  size_t b = ResolveIndex(start_, input.size());
+  size_t e = ResolveIndex(end_, input.size());
+  if (e <= b) return "";
+  return std::string(input.substr(b, e - b));
+}
+
+std::string SubstringUnit::ToString() const {
+  return StrFormat("substr(%d,%d)", start_, end_);
+}
+
+std::string SplitUnit::Apply(std::string_view input) const {
+  auto parts = SplitAny(input, std::string_view(&sep_, 1));
+  if (parts.empty()) return "";
+  long long idx = index_;
+  if (idx < 0) idx += static_cast<long long>(parts.size());
+  if (idx < 0 || idx >= static_cast<long long>(parts.size())) return "";
+  return parts[static_cast<size_t>(idx)];
+}
+
+std::string SplitUnit::ToString() const {
+  return StrFormat("split('%c',%d)", sep_, index_);
+}
+
+std::string LowercaseUnit::Apply(std::string_view input) const {
+  return ToLower(input);
+}
+
+std::string UppercaseUnit::Apply(std::string_view input) const {
+  return ToUpper(input);
+}
+
+std::string LiteralUnit::Apply(std::string_view) const { return text_; }
+
+std::string LiteralUnit::ToString() const {
+  return "literal(\"" + text_ + "\")";
+}
+
+std::string ReverseUnit::Apply(std::string_view input) const {
+  return Reverse(input);
+}
+
+std::string ReplaceCharUnit::Apply(std::string_view input) const {
+  std::string out(input);
+  for (char& c : out) {
+    if (c == from_) c = to_;
+  }
+  return out;
+}
+
+std::string ReplaceCharUnit::ToString() const {
+  return StrFormat("replace('%c','%c')", from_, to_);
+}
+
+}  // namespace dtt

@@ -1,0 +1,101 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dtt {
+
+Result<CsvTable> ParseCsv(std::string_view text, char delim) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    table.rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch.
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table, char delim) {
+  std::string out;
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out.push_back(delim);
+      const std::string& cell = row[c];
+      bool needs_quotes = cell.find(delim) != std::string::npos ||
+                          cell.find('"') != std::string::npos ||
+                          cell.find('\n') != std::string::npos;
+      if (needs_quotes) {
+        out.push_back('"');
+        for (char ch : cell) {
+          if (ch == '"') out.push_back('"');
+          out.push_back(ch);
+        }
+        out.push_back('"');
+      } else {
+        out += cell;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, char delim) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), delim);
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delim) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for write: " + path);
+  out << WriteCsv(table, delim);
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace dtt

@@ -1,0 +1,35 @@
+#ifndef DTT_UTIL_CSV_H_
+#define DTT_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtt {
+
+/// A parsed delimited file: rows of string cells.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+/// RFC-4180-ish CSV parsing: quoted fields with embedded delimiters/newlines
+/// and doubled quotes. `delim` defaults to comma; pass '\t' for TSV.
+Result<CsvTable> ParseCsv(std::string_view text, char delim = ',');
+
+/// Serializes a table, quoting fields that contain the delimiter, quotes or
+/// newlines.
+std::string WriteCsv(const CsvTable& table, char delim = ',');
+
+/// Reads / writes a CSV file on disk.
+Result<CsvTable> ReadCsvFile(const std::string& path, char delim = ',');
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delim = ',');
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_CSV_H_

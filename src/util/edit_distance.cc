@@ -1,0 +1,78 @@
+#include "util/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace dtt {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: O(|b|) space
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // Length difference alone is a lower bound on the distance.
+  if (a.size() - b.size() > bound) return bound + 1;
+  if (b.empty()) return a.size();
+
+  const size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), bound); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Only columns within the band |i-j| <= bound can stay <= bound.
+    size_t lo = (i > bound) ? i - bound : 0;
+    size_t hi = std::min(b.size(), i + bound);
+    size_t diag = (lo == 0) ? row[0] : row[lo - 1];
+    if (lo == 0) {
+      row[0] = i;
+    } else {
+      // Left neighbour of the first in-band column is out of band.
+    }
+    size_t row_min = kInf;
+    size_t left = (lo == 0) ? row[0] : kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t val = std::min({up + 1, left + 1, diag + cost});
+      row[j] = val;
+      left = val;
+      diag = up;
+      row_min = std::min(row_min, val);
+    }
+    if (hi < b.size()) row[hi + 1] = kInf;  // invalidate stale out-of-band cell
+    if (lo == 0) row_min = std::min(row_min, row[0]);
+    if (row_min > bound) return bound + 1;
+  }
+  return row[b.size()];
+}
+
+double NormalizedEditDistance(std::string_view prediction,
+                              std::string_view target) {
+  if (target.empty()) return prediction.empty() ? 0.0 : 1.0;
+  return static_cast<double>(EditDistance(prediction, target)) /
+         static_cast<double>(target.size());
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) / static_cast<double>(m);
+}
+
+}  // namespace dtt

@@ -1,0 +1,32 @@
+#ifndef DTT_UTIL_EDIT_DISTANCE_H_
+#define DTT_UTIL_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace dtt {
+
+/// Levenshtein distance (unit-cost insert/delete/substitute), O(|a|*|b|) time,
+/// O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns a value > `bound` (not the
+/// exact distance) as soon as the distance provably exceeds `bound`. Uses the
+/// classic banded DP of width 2*bound+1; much faster for small bounds.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+/// Edit distance normalized by the length of `target` (the paper's ANED
+/// normalization, §5.4); if the target is empty, returns 0 when the prediction
+/// is also empty, else 1. Values can exceed 1 when the prediction is much
+/// longer than the target; callers that plot ANED typically clamp at 1.
+double NormalizedEditDistance(std::string_view prediction,
+                              std::string_view target);
+
+/// Symmetric similarity in [0,1]: 1 - dist / max(|a|,|b|) (1.0 for two empty
+/// strings). Used by similarity-join baselines.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_EDIT_DISTANCE_H_

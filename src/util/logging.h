@@ -1,0 +1,69 @@
+#ifndef DTT_UTIL_LOGGING_H_
+#define DTT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dtt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define DTT_LOG(level)                                             \
+  (static_cast<int>(::dtt::LogLevel::k##level) <                   \
+   static_cast<int>(::dtt::GetLogLevel()))                         \
+      ? (void)0                                                    \
+      : (void)(::dtt::internal::LogMessage(::dtt::LogLevel::k##level, \
+                                           __FILE__, __LINE__))
+
+// Stream form: DTT_LOGS(Info) << "x=" << x;
+#define DTT_LOGS(level)                                  \
+  ::dtt::internal::LogMessage(::dtt::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal-on-false check, active in all build types.
+#define DTT_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dtt::internal::LogMessage(::dtt::LogLevel::kError, __FILE__,      \
+                                  __LINE__)                               \
+          << "CHECK failed: " #cond;                                      \
+      ::abort();                                                          \
+    }                                                                     \
+  } while (0)
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_LOGGING_H_

@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dtt {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_cache_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  gauss_cache_ = r * std::sin(theta);
+  has_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(NextBounded(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork(uint64_t tag) const {
+  // Mix the original seed with the tag through SplitMix64 for independence.
+  uint64_t mixed = seed_ ^ (tag * 0xD1B54A32D192ED03ULL + 0x8CB92BA72F3D8DD7ULL);
+  uint64_t sm = mixed;
+  return Rng(SplitMix64(&sm));
+}
+
+uint64_t Rng::HashString(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace dtt

@@ -1,0 +1,67 @@
+#ifndef DTT_UTIL_RNG_H_
+#define DTT_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dtt {
+
+/// Deterministic xoshiro256** pseudo-random generator, seeded via SplitMix64.
+/// Every randomized component in DTT takes an explicit Rng so that all
+/// experiments are reproducible bit-for-bit from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true = 0.5);
+
+  /// Uniformly chosen element index weighted by `weights` (need not sum to 1).
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks `k` distinct indices out of [0, n) (k <= n), in random order.
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+  /// A new generator whose stream is a pure function of this seed and `tag`;
+  /// used to give per-(input, context) determinism to stochastic models.
+  Rng Fork(uint64_t tag) const;
+
+  /// Stable 64-bit hash of a string (FNV-1a), for derived seeding.
+  static uint64_t HashString(std::string_view s);
+
+ private:
+  uint64_t state_[4];
+  uint64_t seed_;
+  bool has_gauss_ = false;
+  double gauss_cache_ = 0.0;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_RNG_H_

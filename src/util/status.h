@@ -1,0 +1,136 @@
+#ifndef DTT_UTIL_STATUS_H_
+#define DTT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dtt {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow-style success/error carrier. Public DTT APIs never throw; fallible
+/// operations return Status (or Result<T> below).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error union, Arrow's Result<T> in miniature.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define DTT_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::dtt::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define DTT_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto DTT_CONCAT_(_res, __LINE__) = (rexpr);    \
+  if (!DTT_CONCAT_(_res, __LINE__).ok())         \
+    return DTT_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(DTT_CONCAT_(_res, __LINE__)).value()
+
+#define DTT_CONCAT_IMPL_(a, b) a##b
+#define DTT_CONCAT_(a, b) DTT_CONCAT_IMPL_(a, b)
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_STATUS_H_

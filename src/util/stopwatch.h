@@ -1,0 +1,29 @@
+#ifndef DTT_UTIL_STOPWATCH_H_
+#define DTT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dtt {
+
+/// Monotonic wall-clock stopwatch for the runtime experiments (E7).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_STOPWATCH_H_

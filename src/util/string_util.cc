@@ -1,0 +1,282 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+namespace dtt {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string Reverse(std::string_view s) {
+  return std::string(s.rbegin(), s.rend());
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitAny(std::string_view s, std::string_view seps) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (seps.find(c) != std::string_view::npos) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Strip(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+size_t CommonPrefixLen(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+size_t CommonSuffixLen(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[a.size() - 1 - i] == b[b.size() - 1 - i]) ++i;
+  return i;
+}
+
+namespace {
+
+template <typename Eq>
+CommonSubstring LcsImpl(std::string_view a, std::string_view b, Eq eq) {
+  CommonSubstring best;
+  if (a.empty() || b.empty()) return best;
+  // Rolling DP over match lengths ending at (i, j).
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (eq(a[i - 1], b[j - 1])) {
+        cur[j] = prev[j - 1] + 1;
+        if (cur[j] > best.len) {
+          best.len = cur[j];
+          best.pos_a = i - cur[j];
+          best.pos_b = j - cur[j];
+        }
+      } else {
+        cur[j] = 0;
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+CommonSubstring LongestCommonSubstring(std::string_view a, std::string_view b) {
+  return LcsImpl(a, b, [](char x, char y) { return x == y; });
+}
+
+CommonSubstring LongestCommonSubstringNoCase(std::string_view a,
+                                             std::string_view b) {
+  return LcsImpl(a, b, [](char x, char y) {
+    return std::tolower(static_cast<unsigned char>(x)) ==
+           std::tolower(static_cast<unsigned char>(y));
+  });
+}
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  std::vector<std::string> grams;
+  if (q == 0 || s.size() < q) return grams;
+  grams.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, q));
+  }
+  return grams;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  auto ga = QGrams(a, q);
+  auto gb = QGrams(b, q);
+  if (ga.empty() && gb.empty()) return a == b ? 1.0 : 0.0;
+  std::unordered_set<std::string> sa(ga.begin(), ga.end());
+  std::unordered_set<std::string> sb(gb.begin(), gb.end());
+  size_t inter = 0;
+  for (const auto& g : sa) inter += sb.count(g);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  static constexpr std::string_view kSeps = " \t,;:/|_-.()[]{}";
+  auto ta = SplitAny(a, kSeps);
+  auto tb = SplitAny(b, kSeps);
+  if (ta.empty() && tb.empty()) return a == b ? 1.0 : 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsWordLikeToken(std::string_view token) {
+  if (token.size() < 2) return true;  // too short to judge; not evidence
+  if (IsDigits(token)) return true;   // numbers are natural content
+  bool has_vowel = false;
+  bool all_lower = true;
+  bool all_upper = true;
+  for (size_t i = 0; i < token.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(token[i]);
+    if (!std::isalpha(c)) return false;
+    if (std::islower(c)) {
+      all_upper = false;
+    } else if (i > 0) {
+      all_lower = false;  // leading capital is fine (Title case)
+    }
+    switch (std::tolower(c)) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+      case 'y':
+        has_vowel = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return has_vowel && (all_lower || all_upper);
+}
+
+double ContentNaturalness(const std::vector<std::string_view>& cells,
+                          std::string_view separators,
+                          bool digits_are_natural) {
+  size_t wordlike = 0;
+  size_t total = 0;
+  for (std::string_view cell : cells) {
+    for (const auto& token : SplitAny(cell, separators)) {
+      if (token.size() < 2) continue;
+      ++total;
+      if (!digits_are_natural && token.size() >= 4 && IsDigits(token)) {
+        continue;  // long number: unnatural for a subword encoder
+      }
+      if (IsWordLikeToken(token)) ++wordlike;
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(wordlike) / static_cast<double>(total);
+}
+
+size_t LongestCommonSubsequenceLen(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace dtt

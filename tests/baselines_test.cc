@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "baselines/auto_fuzzy_join.h"
+#include "baselines/cst.h"
+#include "baselines/dataxformer.h"
+#include "baselines/ditto.h"
+#include "util/string_util.h"
+
+namespace dtt {
+namespace {
+
+std::vector<ExamplePair> LastNameExamples() {
+  return {{"John Smith", "Smith"},
+          {"Alice Walker", "Walker"},
+          {"Maria Garcia", "Garcia"},
+          {"Emma Wilson", "Wilson"}};
+}
+
+// Helper exposing the default separators (keeps test calls short).
+std::string_view InductionConfigSeparators() {
+  static const induction::InductionConfig kCfg;
+  return kCfg.separators;
+}
+
+TEST(CstTest, LearnsSingleCoveringTransformation) {
+  CstJoiner cst;
+  auto set = cst.Learn(LastNameExamples());
+  ASSERT_FALSE(set.empty());
+  // The top transformation must cover all examples.
+  auto out = set[0].Apply("David Miller", InductionConfigSeparators());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "Miller");
+}
+
+TEST(CstTest, JoinByExactMatch) {
+  CstJoiner cst;
+  auto result = cst.Join({"David Miller", "Sarah Davis"}, LastNameExamples(),
+                         {"Davis", "Miller"});
+  ASSERT_EQ(result.matches.size(), 2u);
+  EXPECT_EQ(result.matches[0].target_index, 1);
+  EXPECT_EQ(result.matches[1].target_index, 0);
+}
+
+TEST(CstTest, MultipleTransformationsForConditionalFormats) {
+  // Rows need two different rules (with/without middle name); CST should
+  // rank a set that covers both.
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "j.smith"},
+      {"Alice Walker", "a.walker"},
+      {"Mary Jane Watson", "m.j.watson"},
+      {"Peter Ben Parker", "p.b.parker"},
+  };
+  CstJoiner cst;
+  auto set = cst.Learn(examples);
+  ASSERT_GE(set.size(), 2u);
+  auto result = cst.Join({"Emma Wilson", "Lisa May Simpson"}, examples,
+                         {"l.m.simpson", "e.wilson"});
+  EXPECT_EQ(result.matches[0].target_index, 1);
+  EXPECT_EQ(result.matches[1].target_index, 0);
+}
+
+TEST(CstTest, CannotExpressReversalAcrossLengths) {
+  // A length-L reversal IS expressible as L positional one-character copies,
+  // but such programs only cover examples of exactly that length. With
+  // different-length examples (the Syn-RV regime: lengths 8..35) no common
+  // positional program exists and the unseen-length input stays unmatched —
+  // the mechanism behind CST's 0.0 F1 on Syn-RV (Table 1).
+  std::vector<ExamplePair> examples = {
+      {"abcde", "edcba"}, {"fghijkl", "lkjihgf"}};
+  CstJoiner cst;
+  auto result = cst.Join({"mnopqr"}, examples, {"rqponm"});
+  EXPECT_EQ(result.matches[0].target_index, -1);
+}
+
+TEST(CstTest, NoiseOnlyPollutesItsOwnCandidates) {
+  auto examples = LastNameExamples();
+  examples.push_back({"Noisy Row", "##$$!!"});
+  CstJoiner cst;
+  auto set = cst.Learn(examples);
+  ASSERT_FALSE(set.empty());
+  // The top-ranked transformation still covers the clean majority.
+  auto out = set[0].Apply("David Miller", InductionConfigSeparators());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "Miller");
+}
+
+TEST(AfjTest, SimilarityReflectsSurfaceOverlap) {
+  double same = AutoFuzzyJoin::Similarity("hello world", "hello world", 2);
+  double close = AutoFuzzyJoin::Similarity("hello world", "helo world", 2);
+  double far = AutoFuzzyJoin::Similarity("hello world", "zzz qqq", 2);
+  EXPECT_DOUBLE_EQ(same, 1.0);
+  EXPECT_GT(close, far);
+}
+
+TEST(AfjTest, JoinsIdenticalColumns) {
+  AutoFuzzyJoin afj;
+  std::vector<std::string> sources = {"alpha-1", "beta-2", "gamma-3"};
+  std::vector<std::string> targets = {"beta_2", "gamma_3", "alpha_1"};
+  auto result = afj.Join(sources, targets);
+  EXPECT_EQ(result.matches[0].target_index, 2);
+  EXPECT_EQ(result.matches[1].target_index, 0);
+  EXPECT_EQ(result.matches[2].target_index, 1);
+}
+
+TEST(AfjTest, SubstringTargetsJoinable) {
+  AutoFuzzyJoin afj;
+  std::vector<std::string> sources = {"q7x#kpl2vw", "m3z@tyu8ab"};
+  std::vector<std::string> targets = {"3z@tyu", "7x#kpl"};
+  auto result = afj.Join(sources, targets);
+  EXPECT_EQ(result.matches[0].target_index, 1);
+  EXPECT_EQ(result.matches[1].target_index, 0);
+}
+
+TEST(AfjTest, CollapsesWhenNoTextualSimilarity) {
+  AutoFuzzyJoin afj;
+  std::vector<std::string> sources = {"abcdefgh", "ijklmnop"};
+  std::vector<std::string> targets = {"hgfedcba", "ponmlkji"};
+  auto result = afj.Join(sources, targets);
+  int matched = 0;
+  for (const auto& m : result.matches) {
+    if (m.target_index >= 0) ++matched;
+  }
+  // Reversed strings share q-grams only accidentally.
+  EXPECT_LE(matched, 1);
+}
+
+TEST(AfjTest, EmptyInputsSafe) {
+  AutoFuzzyJoin afj;
+  auto r1 = afj.Join({}, {"x"});
+  EXPECT_TRUE(r1.matches.empty());
+  auto r2 = afj.Join({"x"}, {});
+  ASSERT_EQ(r2.matches.size(), 1u);
+  EXPECT_EQ(r2.matches[0].target_index, -1);
+}
+
+TEST(DittoTest, FeaturesBounded) {
+  auto f = DittoPairFeatures("John Smith", "Smith, John");
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(DittoTest, TrainingSeparatesMatchesFromRandom) {
+  DittoMatcher matcher;
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "john smith"},   {"Alice Walker", "alice walker"},
+      {"Maria Garcia", "maria garcia"}, {"Emma Wilson", "emma wilson"},
+      {"David Miller", "david miller"}};
+  std::vector<std::string> targets = {"john smith", "alice walker",
+                                      "maria garcia", "emma wilson",
+                                      "david miller"};
+  Rng rng(1);
+  matcher.Train(examples, targets, &rng);
+  EXPECT_GT(matcher.Score("Sarah Davis", "sarah davis"), 0.5);
+  EXPECT_LT(matcher.Score("Sarah Davis", "emma wilson"), 0.5);
+}
+
+TEST(DittoTest, JoinPicksArgmaxAboveThreshold) {
+  DittoMatcher matcher;
+  std::vector<ExamplePair> examples = {
+      {"alpha-01", "ALPHA 01"}, {"beta-02", "BETA 02"},
+      {"gamma-03", "GAMMA 03"}, {"delta-04", "DELTA 04"}};
+  std::vector<std::string> targets = {"EPSILON 05", "ZETA 06"};
+  Rng rng(2);
+  matcher.Train(examples, targets, &rng);
+  auto result = matcher.Join({"epsilon-05", "zeta-06"}, targets);
+  EXPECT_EQ(result.matches[0].target_index, 0);
+  EXPECT_EQ(result.matches[1].target_index, 1);
+}
+
+TEST(DittoTest, UntrainedAbstains) {
+  DittoMatcher matcher;  // never trained: w = 0 -> p = 0.5 everywhere
+  auto result = matcher.Join({"a"}, {"b"});
+  // Sigmoid(0) == 0.5 meets the threshold; accept either behaviour but the
+  // matcher must not crash and must return one decision per source.
+  ASSERT_EQ(result.matches.size(), 1u);
+}
+
+TEST(DataXFormerTest, PredictsFromMatchingRelation) {
+  DataXFormerLite dxf(KnowledgeBase::Builtin());
+  std::vector<ExamplePair> examples = {
+      {"California", "CA"}, {"Texas", "TX"}, {"Ohio", "OH"}};
+  auto preds = dxf.Predict({"Nevada", "Utah"}, examples);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], "NV");
+  EXPECT_EQ(preds[1], "UT");
+}
+
+TEST(DataXFormerTest, CoverageThresholdToleratesNoise) {
+  DataXFormerLite dxf(KnowledgeBase::Builtin());
+  std::vector<ExamplePair> examples = {
+      {"California", "CA"}, {"Texas", "TX"}, {"Ohio", "OH"},
+      {"Noise", "??"}};  // 75% coverage still above 0.6
+  auto preds = dxf.Predict({"Nevada"}, examples);
+  EXPECT_EQ(preds[0], "NV");
+}
+
+TEST(DataXFormerTest, AbstainsOutsideKb) {
+  DataXFormerLite dxf(KnowledgeBase::Builtin());
+  std::vector<ExamplePair> examples = {{"q7x", "abc"}, {"m3z", "def"}};
+  auto preds = dxf.Predict({"h5d"}, examples);
+  EXPECT_TRUE(preds[0].empty());
+}
+
+TEST(DataXFormerTest, JoinExactOnPredictions) {
+  DataXFormerLite dxf(KnowledgeBase::Builtin());
+  std::vector<ExamplePair> examples = {
+      {"January", "1"}, {"March", "3"}, {"May", "5"}};
+  auto result = dxf.Join({"July", "October"}, examples, {"10", "7"});
+  EXPECT_EQ(result.matches[0].target_index, 1);
+  EXPECT_EQ(result.matches[1].target_index, 0);
+}
+
+}  // namespace
+}  // namespace dtt

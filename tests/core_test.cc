@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/aggregator.h"
+#include "core/joiner.h"
+#include "core/pipeline.h"
+#include "core/tasks.h"
+#include "models/pattern_induction.h"
+
+namespace dtt {
+namespace {
+
+TEST(AggregatorTest, MajorityWins) {
+  Aggregator agg;
+  auto r = agg.Aggregate({"a", "b", "a", "a", "c"});
+  EXPECT_EQ(r.prediction, "a");
+  EXPECT_EQ(r.support, 3);
+  EXPECT_EQ(r.trials, 5);
+  EXPECT_DOUBLE_EQ(r.confidence, 0.6);
+}
+
+TEST(AggregatorTest, AbstentionsExcludedFromTrials) {
+  Aggregator agg;
+  auto r = agg.Aggregate({"", "", "x", "x", ""});
+  EXPECT_EQ(r.prediction, "x");
+  EXPECT_EQ(r.trials, 2);
+  EXPECT_DOUBLE_EQ(r.confidence, 1.0);
+}
+
+TEST(AggregatorTest, AllAbstainedYieldsEmpty) {
+  Aggregator agg;
+  auto r = agg.Aggregate({"", "", ""});
+  EXPECT_TRUE(r.prediction.empty());
+  EXPECT_EQ(r.trials, 0);
+}
+
+TEST(AggregatorTest, EmptyInput) {
+  Aggregator agg;
+  auto r = agg.Aggregate({});
+  EXPECT_TRUE(r.prediction.empty());
+}
+
+TEST(AggregatorTest, TieBreaksByLengthThenLexicographic) {
+  Aggregator agg;
+  EXPECT_EQ(agg.Aggregate({"bb", "a"}).prediction, "a");     // shorter
+  EXPECT_EQ(agg.Aggregate({"b", "a"}).prediction, "a");      // lexicographic
+  EXPECT_EQ(agg.Aggregate({"ab", "ab", "z"}).prediction, "ab");  // support
+}
+
+TEST(AggregatorTest, DeterministicRegardlessOfOrder) {
+  Aggregator agg;
+  auto r1 = agg.Aggregate({"x", "y", "x"});
+  auto r2 = agg.Aggregate({"y", "x", "x"});
+  EXPECT_EQ(r1.prediction, r2.prediction);
+}
+
+TEST(AggregatorTest, MultiModelPoolsTrials) {
+  Aggregator agg;
+  auto r = agg.AggregateMulti({{"a", "b"}, {"b", "b", "c"}});
+  EXPECT_EQ(r.prediction, "b");
+  EXPECT_EQ(r.support, 3);
+  EXPECT_EQ(r.trials, 5);
+}
+
+/// A scripted model for pipeline tests: answers by lookup table, abstains
+/// otherwise; counts calls.
+class FakeModel : public TextToTextModel {
+ public:
+  explicit FakeModel(std::map<std::string, std::string> answers)
+      : answers_(std::move(answers)) {}
+
+  std::string name() const override { return "fake"; }
+  Result<std::string> Transform(const Prompt& prompt) override {
+    ++calls_;
+    auto it = answers_.find(prompt.source);
+    if (it == answers_.end()) return std::string();
+    return it->second;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  std::map<std::string, std::string> answers_;
+  int calls_ = 0;
+};
+
+std::vector<ExamplePair> SomeExamples() {
+  return {{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"},
+          {"f", "6"}, {"g", "7"}};
+}
+
+TEST(PipelineTest, RunsNumTrialsPerRow) {
+  auto model = std::make_shared<FakeModel>(
+      std::map<std::string, std::string>{{"x", "42"}});
+  PipelineOptions opts;
+  opts.decomposer.num_trials = 5;
+  DttPipeline pipeline(model, opts);
+  Rng rng(1);
+  auto row = pipeline.TransformRow("x", SomeExamples(), &rng);
+  EXPECT_EQ(row.prediction, "42");
+  EXPECT_EQ(model->calls(), 5);
+  EXPECT_EQ(row.support, 5);
+}
+
+TEST(PipelineTest, AbstainingModelYieldsEmptyPrediction) {
+  auto model = std::make_shared<FakeModel>(
+      std::map<std::string, std::string>{});
+  DttPipeline pipeline(model);
+  Rng rng(2);
+  auto row = pipeline.TransformRow("unknown", SomeExamples(), &rng);
+  EXPECT_TRUE(row.prediction.empty());
+}
+
+TEST(PipelineTest, TransformAllPreservesOrder) {
+  auto model = std::make_shared<FakeModel>(std::map<std::string, std::string>{
+      {"x", "1"}, {"y", "2"}});
+  DttPipeline pipeline(model);
+  Rng rng(3);
+  auto rows = pipeline.TransformAll({"x", "y"}, SomeExamples(), &rng);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].source, "x");
+  EXPECT_EQ(rows[0].prediction, "1");
+  EXPECT_EQ(rows[1].prediction, "2");
+}
+
+TEST(PipelineTest, MultiModelAggregatesAcrossModels) {
+  auto m1 = std::make_shared<FakeModel>(
+      std::map<std::string, std::string>{{"x", "right"}});
+  auto m2 = std::make_shared<FakeModel>(
+      std::map<std::string, std::string>{});  // abstains
+  PipelineOptions opts;
+  opts.decomposer.num_trials = 3;
+  DttPipeline pipeline({m1, m2}, opts);
+  Rng rng(4);
+  auto row = pipeline.TransformRow("x", SomeExamples(), &rng);
+  EXPECT_EQ(row.prediction, "right");
+  EXPECT_EQ(row.support, 3);  // only m1's trials voted
+}
+
+TEST(PipelineTest, EndToEndWithInductionModel) {
+  auto model = std::make_shared<PatternInductionModel>();
+  PipelineOptions opts;
+  opts.decomposer.num_trials = 5;
+  DttPipeline pipeline(model, opts);
+  std::vector<ExamplePair> examples = {
+      {"Justin Trudeau", "jtrudeau"}, {"Stephen Harper", "sharper"},
+      {"Paul Martin", "pmartin"},     {"Jean Chretien", "jchretien"},
+  };
+  Rng rng(5);
+  auto row = pipeline.TransformRow("Kim Campbell", examples, &rng);
+  EXPECT_EQ(row.prediction, "kcampbell");
+  EXPECT_GT(row.confidence, 0.5);
+}
+
+TEST(JoinerTest, ExactMatchFirst) {
+  EditDistanceJoiner joiner;
+  auto r = joiner.Join(std::vector<std::string>{"bb"},
+                       std::vector<std::string>{"aa", "bb", "cc"});
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].target_index, 1);
+  EXPECT_EQ(r.matches[0].edit_distance, 0u);
+}
+
+TEST(JoinerTest, NearestByEditDistance) {
+  EditDistanceJoiner joiner;
+  auto r = joiner.Join(std::vector<std::string>{"kitten"},
+                       std::vector<std::string>{"sitting", "mitten", "cat"});
+  EXPECT_EQ(r.matches[0].target_index, 1);  // mitten, distance 1
+  EXPECT_EQ(r.matches[0].edit_distance, 1u);
+}
+
+TEST(JoinerTest, EmptyPredictionUnmatched) {
+  EditDistanceJoiner joiner;
+  auto r = joiner.Join(std::vector<std::string>{""},
+                       std::vector<std::string>{"a"});
+  EXPECT_EQ(r.matches[0].target_index, -1);
+}
+
+TEST(JoinerTest, ThresholdRejectsFarMatches) {
+  JoinerOptions opts;
+  opts.max_distance_ratio = 0.3;
+  EditDistanceJoiner joiner(opts);
+  auto r = joiner.Join(std::vector<std::string>{"zzzzzz"},
+                       std::vector<std::string>{"aaaaaa"});
+  EXPECT_EQ(r.matches[0].target_index, -1);
+}
+
+TEST(JoinerTest, BandedModeAgreesWithExact) {
+  std::vector<std::string> targets = {"alpha", "beta", "gamma", "delta"};
+  std::vector<std::string> preds = {"alpa", "betta", "gamm", "delt"};
+  EditDistanceJoiner exact;
+  JoinerOptions bopts;
+  bopts.band = 8;
+  EditDistanceJoiner banded(bopts);
+  auto r1 = exact.Join(preds, targets);
+  auto r2 = banded.Join(preds, targets);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_EQ(r1.matches[i].target_index, r2.matches[i].target_index);
+  }
+}
+
+TEST(JoinerTest, RowPredictionOverload) {
+  EditDistanceJoiner joiner;
+  std::vector<RowPrediction> rows(1);
+  rows[0].prediction = "bb";
+  auto r = joiner.Join(rows, {"aa", "bb"});
+  EXPECT_EQ(r.matches[0].target_index, 1);
+}
+
+TEST(JoinerTest, JoinRangeManyToMany) {
+  EditDistanceJoiner joiner;
+  auto hits = joiner.JoinRange("abc", {"abc", "abd", "xyz", "abcd"}, 0, 1);
+  ASSERT_EQ(hits.size(), 3u);  // abc(0), abd(1), abcd(1)
+  EXPECT_EQ(hits[0], 0);
+}
+
+TEST(TasksTest, FillMissingValues) {
+  auto model = std::make_shared<PatternInductionModel>();
+  DttPipeline pipeline(model);
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "Smith"}, {"Alice Walker", "Walker"},
+      {"Maria Garcia", "Garcia"}};
+  Rng rng(6);
+  auto filled =
+      FillMissingValues(pipeline, {"Emma Wilson", "David Miller"},
+                        examples, &rng);
+  ASSERT_EQ(filled.size(), 2u);
+  EXPECT_EQ(filled[0].prediction, "Wilson");
+  EXPECT_EQ(filled[1].prediction, "Miller");
+}
+
+TEST(TasksTest, DetectErrorsFlagsDeviations) {
+  auto model = std::make_shared<PatternInductionModel>();
+  DttPipeline pipeline(model);
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "Smith"}, {"Alice Walker", "Walker"},
+      {"Maria Garcia", "Garcia"}};
+  std::vector<ExamplePair> rows = {
+      {"Emma Wilson", "Wilson"},   // correct
+      {"David Miller", "Miler"},   // small typo
+      {"Sarah Davis", "zzz###"},   // clearly wrong
+  };
+  Rng rng(7);
+  auto flags = DetectErrors(pipeline, rows, examples, /*aned_threshold=*/0.5,
+                            &rng);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].row, 2u);
+  EXPECT_EQ(flags[0].expected, "Davis");
+}
+
+}  // namespace
+}  // namespace dtt

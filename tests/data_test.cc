@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "data/knowledge_base.h"
+#include "data/names.h"
+#include "data/noise.h"
+#include "data/realworld_datasets.h"
+#include "data/synthetic_datasets.h"
+#include "data/table.h"
+
+namespace dtt {
+namespace {
+
+TEST(TableTest, SplitHalvesRows) {
+  TablePair t;
+  t.name = "t";
+  for (int i = 0; i < 20; ++i) {
+    t.source.push_back("s" + std::to_string(i));
+    t.target.push_back("t" + std::to_string(i));
+  }
+  Rng rng(1);
+  TableSplit split = SplitTable(t, &rng);
+  EXPECT_EQ(split.examples.size(), 10u);
+  EXPECT_EQ(split.test.size(), 10u);
+}
+
+TEST(TableTest, SplitKeepsAlignment) {
+  TablePair t;
+  t.name = "t";
+  for (int i = 0; i < 12; ++i) {
+    t.source.push_back("s" + std::to_string(i));
+    t.target.push_back("t" + std::to_string(i));
+  }
+  Rng rng(2);
+  TableSplit split = SplitTable(t, &rng);
+  for (const auto& p : split.examples) {
+    EXPECT_EQ(p.target, "t" + p.source.substr(1));
+  }
+  for (const auto& p : split.test) {
+    EXPECT_EQ(p.target, "t" + p.source.substr(1));
+  }
+}
+
+TEST(TableTest, SplitLeavesAtLeastOneTestRow) {
+  TablePair t;
+  t.name = "tiny";
+  t.source = {"a", "b"};
+  t.target = {"1", "2"};
+  Rng rng(3);
+  TableSplit split = SplitTable(t, &rng, /*example_frac=*/0.99);
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.examples.size(), 1u);
+}
+
+TEST(TableTest, SplitDeterministicPerSeed) {
+  TablePair t;
+  t.name = "t";
+  for (int i = 0; i < 10; ++i) {
+    t.source.push_back(std::to_string(i));
+    t.target.push_back(std::to_string(i * 2));
+  }
+  Rng a(7), b(7);
+  auto s1 = SplitTable(t, &a);
+  auto s2 = SplitTable(t, &b);
+  ASSERT_EQ(s1.examples.size(), s2.examples.size());
+  for (size_t i = 0; i < s1.examples.size(); ++i) {
+    EXPECT_EQ(s1.examples[i], s2.examples[i]);
+  }
+}
+
+TEST(KnowledgeBaseTest, BuiltinContents) {
+  auto kb = KnowledgeBase::Builtin();
+  ASSERT_GE(kb->relations().size(), 10u);
+  const auto* states = kb->FindRelationByName("state_to_abbrev");
+  ASSERT_NE(states, nullptr);
+  EXPECT_EQ(states->map.size(), 50u);
+  EXPECT_EQ(states->Lookup("California").value(), "CA");
+  const auto* inverse = kb->FindRelationByName("abbrev_to_state");
+  ASSERT_NE(inverse, nullptr);
+  EXPECT_EQ(inverse->Lookup("CA").value(), "California");
+}
+
+TEST(KnowledgeBaseTest, LookupMissReturnsNullopt) {
+  auto kb = KnowledgeBase::Builtin();
+  const auto* states = kb->FindRelationByName("state_to_abbrev");
+  EXPECT_FALSE(states->Lookup("Atlantis").has_value());
+}
+
+TEST(KnowledgeBaseTest, MatchingRelationsRequiresAllExamples) {
+  auto kb = KnowledgeBase::Builtin();
+  auto match = kb->MatchingRelations({{"California", "CA"}, {"Texas", "TX"}});
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(match[0]->name, "state_to_abbrev");
+  auto none =
+      kb->MatchingRelations({{"California", "CA"}, {"Texas", "WRONG"}});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(KnowledgeBaseTest, SubsampleShrinksGeneralRelations) {
+  auto kb = KnowledgeBase::Builtin();
+  auto sub = kb->Subsample(0.4, /*seed=*/9);
+  const auto* full = kb->FindRelationByName("state_to_abbrev");
+  const auto* small = sub->FindRelationByName("state_to_abbrev");
+  ASSERT_NE(small, nullptr);
+  EXPECT_LT(small->map.size(), full->map.size());
+  EXPECT_GT(small->map.size(), 5u);  // ~40% of 50
+  // Entries are a subset with identical values.
+  for (const auto& [k, v] : small->map) {
+    EXPECT_EQ(full->Lookup(k).value(), v);
+  }
+}
+
+TEST(KnowledgeBaseTest, SubsampleDeterministic) {
+  auto kb = KnowledgeBase::Builtin();
+  auto s1 = kb->Subsample(0.5, 42);
+  auto s2 = kb->Subsample(0.5, 42);
+  const auto* r1 = s1->FindRelationByName("country_to_capital");
+  const auto* r2 = s2->FindRelationByName("country_to_capital");
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r1->Keys(), r2->Keys());
+}
+
+TEST(NamesTest, CorporaNonEmptyAndSampling) {
+  EXPECT_GE(corpus::FirstNames().size(), 50u);
+  EXPECT_GE(corpus::LastNames().size(), 50u);
+  Rng rng(1);
+  const std::string& pick = PickFrom(corpus::Cities(), &rng);
+  EXPECT_FALSE(pick.empty());
+}
+
+TEST(NamesTest, PersonNameStructure) {
+  Rng rng(2);
+  PersonName n = RandomPersonName(&rng, /*middle_prob=*/1.0,
+                                  /*missing_first_prob=*/0.0);
+  EXPECT_FALSE(n.first.empty());
+  EXPECT_FALSE(n.middle.empty());
+  EXPECT_FALSE(n.last.empty());
+  EXPECT_EQ(n.Full(), n.first + " " + n.middle + " " + n.last);
+}
+
+TEST(NamesTest, MissingFirstHandledInFull) {
+  Rng rng(3);
+  PersonName n = RandomPersonName(&rng, 0.0, /*missing_first_prob=*/1.0);
+  EXPECT_TRUE(n.first.empty());
+  EXPECT_EQ(n.Full(), n.last);
+}
+
+TEST(NamesTest, PhoneDigitsShape) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    std::string d = RandomPhoneDigits(&rng);
+    ASSERT_EQ(d.size(), 10u);
+    EXPECT_GE(d[0], '2');
+    for (char c : d) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+}
+
+TEST(NamesTest, DatesValid) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Date d = RandomDate(&rng);
+    EXPECT_GE(d.month, 1);
+    EXPECT_LE(d.month, 12);
+    EXPECT_GE(d.day, 1);
+    EXPECT_LE(d.day, 31);
+  }
+}
+
+TEST(SyntheticDatasetsTest, SynShape) {
+  Rng rng(6);
+  Dataset ds = MakeSynDefault(&rng);
+  EXPECT_EQ(ds.name, "Syn");
+  ASSERT_EQ(ds.tables.size(), 10u);
+  for (const auto& t : ds.tables) {
+    EXPECT_EQ(t.num_rows(), 100u);
+    EXPECT_EQ(t.source.size(), t.target.size());
+  }
+}
+
+TEST(SyntheticDatasetsTest, SynRpIsSingleCharReplacement) {
+  Rng rng(7);
+  Dataset ds = MakeSynRpDefault(&rng);
+  ASSERT_EQ(ds.tables.size(), 5u);
+  for (const auto& t : ds.tables) {
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      EXPECT_EQ(t.source[i].size(), t.target[i].size());
+    }
+  }
+}
+
+TEST(SyntheticDatasetsTest, SynRvReversesSource) {
+  Rng rng(8);
+  Dataset ds = MakeSynRvDefault(&rng);
+  for (const auto& t : ds.tables) {
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      EXPECT_EQ(std::string(t.source[i].rbegin(), t.source[i].rend()),
+                t.target[i]);
+    }
+  }
+}
+
+TEST(SyntheticDatasetsTest, SynStIsSubstring) {
+  Rng rng(9);
+  Dataset ds = MakeSynStDefault(&rng);
+  for (const auto& t : ds.tables) {
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      EXPECT_NE(t.source[i].find(t.target[i]), std::string::npos);
+    }
+  }
+}
+
+TEST(RealWorldDatasetsTest, WtStatistics) {
+  RealWorldOptions opts;
+  Rng rng(10);
+  Dataset wt = MakeWebTables(opts, &rng);
+  EXPECT_EQ(wt.tables.size(), 31u);
+  EXPECT_GT(wt.MeanRows(), 60.0);
+  EXPECT_LT(wt.MeanRows(), 130.0);
+  EXPECT_GT(wt.MeanSourceLength(), 8.0);
+}
+
+TEST(RealWorldDatasetsTest, SsStatisticsAndPhoneTables) {
+  RealWorldOptions opts;
+  Rng rng(11);
+  Dataset ss = MakeSpreadsheet(opts, &rng);
+  EXPECT_EQ(ss.tables.size(), 110u);  // 108 + the two phone tables
+  const TablePair* short_table = FindTable(ss, "phone-10-short");
+  const TablePair* long_table = FindTable(ss, "phone-10-long");
+  ASSERT_NE(short_table, nullptr);
+  ASSERT_NE(long_table, nullptr);
+  EXPECT_EQ(short_table->num_rows(), 7u);
+  EXPECT_EQ(long_table->num_rows(), 100u);
+}
+
+TEST(RealWorldDatasetsTest, KbwtContainsGeneralAndParametric) {
+  RealWorldOptions opts;
+  Rng rng(12);
+  Dataset kbwt = MakeKbwt(opts, &rng);
+  EXPECT_EQ(kbwt.tables.size(), 81u);
+  bool has_states = false, has_isbn = false;
+  for (const auto& t : kbwt.tables) {
+    if (t.name.find("state_to_abbrev") != std::string::npos) has_states = true;
+    if (t.name.find("isbn_to_author") != std::string::npos) has_isbn = true;
+  }
+  EXPECT_TRUE(has_states);
+  EXPECT_TRUE(has_isbn);
+}
+
+TEST(RealWorldDatasetsTest, RowScaleShrinksTables) {
+  RealWorldOptions big;
+  RealWorldOptions small;
+  small.row_scale = 0.25;
+  Rng r1(13), r2(13);
+  Dataset wt_big = MakeWebTables(big, &r1);
+  Dataset wt_small = MakeWebTables(small, &r2);
+  EXPECT_LT(wt_small.MeanRows(), wt_big.MeanRows() * 0.5);
+}
+
+TEST(RealWorldDatasetsTest, GeneratorsDeterministic) {
+  RealWorldOptions opts;
+  Rng a(14), b(14);
+  Dataset d1 = MakeWebTables(opts, &a);
+  Dataset d2 = MakeWebTables(opts, &b);
+  ASSERT_EQ(d1.tables.size(), d2.tables.size());
+  EXPECT_EQ(d1.tables[0].source, d2.tables[0].source);
+  EXPECT_EQ(d1.tables[0].target, d2.tables[0].target);
+}
+
+TEST(NoiseTest, RatioRespected) {
+  std::vector<ExamplePair> examples;
+  for (int i = 0; i < 100; ++i) {
+    examples.push_back({"src" + std::to_string(i), "tgt" + std::to_string(i)});
+  }
+  auto original = examples;
+  Rng rng(15);
+  size_t corrupted = AddExampleNoise(&examples, 0.3, &rng);
+  EXPECT_EQ(corrupted, 30u);
+  size_t changed = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_EQ(examples[i].source, original[i].source);  // sources untouched
+    if (examples[i].target != original[i].target) ++changed;
+  }
+  EXPECT_EQ(changed, 30u);
+}
+
+TEST(NoiseTest, ZeroRatioNoOp) {
+  std::vector<ExamplePair> examples = {{"a", "b"}};
+  Rng rng(16);
+  EXPECT_EQ(AddExampleNoise(&examples, 0.0, &rng), 0u);
+  EXPECT_EQ(examples[0].target, "b");
+}
+
+TEST(NoiseTest, FullRatioCorruptsAll) {
+  std::vector<ExamplePair> examples;
+  for (int i = 0; i < 10; ++i) examples.push_back({"s", "target"});
+  Rng rng(17);
+  EXPECT_EQ(AddExampleNoise(&examples, 1.0, &rng), 10u);
+}
+
+}  // namespace
+}  // namespace dtt

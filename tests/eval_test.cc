@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "eval/join_eval.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace dtt {
+namespace {
+
+JoinResult MakeJoin(std::vector<int> indices) {
+  JoinResult r;
+  for (int i : indices) {
+    JoinMatch m;
+    m.target_index = i;
+    r.matches.push_back(m);
+  }
+  return r;
+}
+
+TEST(MetricsTest, PerfectJoin) {
+  auto m = ScoreJoin(MakeJoin({0, 1, 2}), {"a", "b", "c"}, {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, PartialJoin) {
+  // Row 0 correct, row 1 wrong, row 2 unmatched.
+  auto m = ScoreJoin(MakeJoin({0, 0, -1}), {"a", "b", "c"}, {"a", "b", "c"});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 0.4, 1e-12);
+}
+
+TEST(MetricsTest, DuplicateTargetValuesNotPenalized) {
+  // Matching either duplicate of "x" is correct by value.
+  auto m = ScoreJoin(MakeJoin({1}), {"x"}, {"x", "x"});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+}
+
+TEST(MetricsTest, NoMatchesZeroPrecision) {
+  auto m = ScoreJoin(MakeJoin({-1, -1}), {"a", "b"}, {"a", "b"});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, PredictionsAedAned) {
+  auto m = ScorePredictions({"abc", "abd"}, {"abc", "abc"});
+  EXPECT_DOUBLE_EQ(m.aed, 0.5);       // (0 + 1) / 2
+  EXPECT_NEAR(m.aned, (0.0 + 1.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_EQ(m.count, 2u);
+}
+
+TEST(MetricsTest, AverageJoinMacro) {
+  JoinMetrics a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  a.f1 = 2.0 / 3.0;
+  JoinMetrics b;
+  b.precision = 0.0;
+  b.recall = 0.0;
+  b.f1 = 0.0;
+  auto avg = AverageJoin({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.25);
+  EXPECT_NEAR(avg.f1, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, AverageEmptyIsZero) {
+  auto avg = AverageJoin({});
+  EXPECT_DOUBLE_EQ(avg.f1, 0.0);
+  auto pavg = AveragePredictions({});
+  EXPECT_DOUBLE_EQ(pavg.aned, 0.0);
+}
+
+TEST(ReportTest, TablePrinterAligns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"x", "1.00"});
+  printer.AddRow({"longer-name", "2.50"});
+  std::ostringstream os;
+  printer.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(ReportTest, MarkdownAndCsv) {
+  TablePrinter printer({"a", "b"});
+  printer.AddRow({"1", "2"});
+  std::string md = printer.ToMarkdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  std::string csv = printer.ToCsv();
+  EXPECT_EQ(csv, "a,b\n1,2\n");
+}
+
+TEST(ReportTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.12345), "0.123");
+  EXPECT_EQ(TablePrinter::Num(0.5, 1), "0.5");
+}
+
+TEST(ExperimentTest, FactoriesProduceNamedMethods) {
+  EXPECT_EQ(MakeDttMethod()->name(), "DTT");
+  EXPECT_EQ(MakeGpt3PlainMethod(2)->name(), "GPT3-2e");
+  EXPECT_EQ(MakeGpt3FrameworkMethod(3)->name(), "GPT3-DTT-3e");
+  EXPECT_EQ(MakeCombinedMethod()->name(), "DTT+GPT3");
+}
+
+TEST(ExperimentTest, AllDatasetsPresent) {
+  auto all = MakeAllDatasets(/*seed=*/1, /*row_scale=*/0.1);
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0].name, "WT");
+  EXPECT_EQ(all[6].name, "Syn-RV");
+  for (const auto& ds : all) EXPECT_FALSE(ds.tables.empty());
+}
+
+TEST(ExperimentTest, DatasetByNameUnknownIsEmpty) {
+  Dataset ds = MakeDatasetByName("nope", 1);
+  EXPECT_TRUE(ds.tables.empty());
+}
+
+TEST(ExperimentTest, RowScaleFromEnv) {
+  unsetenv("DTT_ROW_SCALE");
+  EXPECT_DOUBLE_EQ(RowScaleFromEnv(0.7), 0.7);
+  setenv("DTT_ROW_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(RowScaleFromEnv(0.7), 0.25);
+  setenv("DTT_ROW_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(RowScaleFromEnv(0.7), 0.7);
+  unsetenv("DTT_ROW_SCALE");
+}
+
+TEST(JoinEvalTest, EvaluateOnSplitScoresDtt) {
+  TablePair table;
+  table.name = "names";
+  std::vector<std::pair<std::string, std::string>> rows = {
+      {"John Smith", "Smith"},     {"Alice Walker", "Walker"},
+      {"Maria Garcia", "Garcia"},  {"Emma Wilson", "Wilson"},
+      {"David Miller", "Miller"},  {"Sarah Davis", "Davis"},
+      {"James Moore", "Moore"},    {"Olivia Taylor", "Taylor"},
+      {"Henry White", "White"},    {"Grace Harris", "Harris"}};
+  for (auto& [s, t] : rows) {
+    table.source.push_back(s);
+    table.target.push_back(t);
+  }
+  Rng rng(3);
+  TableSplit split = SplitTable(table, &rng);
+  auto method = MakeDttMethod();
+  TableEval eval = EvaluateOnSplit(method.get(), split, &rng);
+  EXPECT_GT(eval.join.f1, 0.9);
+  EXPECT_LT(eval.pred.aned, 0.1);
+  EXPECT_GE(eval.seconds, 0.0);
+}
+
+TEST(JoinEvalTest, EvaluateOnDatasetAverages) {
+  Dataset ds = MakeDatasetByName("Syn-RP", /*seed=*/5, /*row_scale=*/0.3);
+  auto method = MakeDttMethod();
+  DatasetEval eval = EvaluateOnDataset(method.get(), ds, /*seed=*/11);
+  EXPECT_EQ(eval.dataset, "Syn-RP");
+  EXPECT_EQ(eval.method, "DTT");
+  EXPECT_EQ(eval.per_table.size(), ds.tables.size());
+  EXPECT_GT(eval.join.f1, 0.8);  // easy benchmark
+}
+
+TEST(JoinEvalTest, ExampleTransformAppliesNoise) {
+  Dataset ds = MakeDatasetByName("Syn-RP", /*seed=*/5, /*row_scale=*/0.3);
+  auto method = MakeDttMethod();
+  DatasetEval clean = EvaluateOnDataset(method.get(), ds, 11);
+  DatasetEval noisy = EvaluateOnDataset(
+      method.get(), ds, 11, [](std::vector<ExamplePair>* ex, Rng* rng) {
+        AddExampleNoise(ex, 0.8, rng);
+      });
+  EXPECT_LE(noisy.join.f1, clean.join.f1 + 1e-9);
+}
+
+TEST(JoinEvalTest, DeterministicAcrossRuns) {
+  Dataset ds = MakeDatasetByName("Syn-ST", 7, 0.2);
+  auto m1 = MakeDttMethod();
+  auto m2 = MakeDttMethod();
+  DatasetEval e1 = EvaluateOnDataset(m1.get(), ds, 13);
+  DatasetEval e2 = EvaluateOnDataset(m2.get(), ds, 13);
+  EXPECT_DOUBLE_EQ(e1.join.f1, e2.join.f1);
+  EXPECT_DOUBLE_EQ(e1.pred.aned, e2.pred.aned);
+}
+
+}  // namespace
+}  // namespace dtt

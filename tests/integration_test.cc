@@ -1,0 +1,178 @@
+// End-to-end shape checks: miniature versions of the paper's headline
+// comparisons. These assert the *qualitative* claims of Table 1 / §5.5 on
+// scaled-down datasets so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "nn/trainer.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 2024;
+constexpr double kScale = 0.25;  // shrink tables for test speed
+
+DatasetEval RunOn(const std::string& dataset_name, JoinMethod* method,
+                  double scale = kScale) {
+  Dataset ds = MakeDatasetByName(dataset_name, kSeed, scale);
+  return EvaluateOnDataset(method, ds, kSeed);
+}
+
+TEST(IntegrationTest, DttStrongOnSynRp) {
+  auto dtt = MakeDttMethod();
+  EXPECT_GT(RunOn("Syn-RP", dtt.get()).join.f1, 0.9);
+}
+
+TEST(IntegrationTest, DttDecentOnSynSt) {
+  auto dtt = MakeDttMethod();
+  EXPECT_GT(RunOn("Syn-ST", dtt.get()).join.f1, 0.7);
+}
+
+TEST(IntegrationTest, CstPerfectOnSynStItsHomeTurf) {
+  // Syn-ST is a single substring unit — exactly CST's language (Table 1:
+  // CST F1 = 1.0 there).
+  CstJoinMethod cst;
+  EXPECT_GT(RunOn("Syn-ST", &cst).join.f1, 0.95);
+}
+
+TEST(IntegrationTest, CstCollapsesOnSynRv) {
+  CstJoinMethod cst;
+  EXPECT_LT(RunOn("Syn-RV", &cst).join.f1, 0.05);
+}
+
+TEST(IntegrationTest, DttBeatsCstOnSynRv) {
+  auto dtt = MakeDttMethod();
+  CstJoinMethod cst;
+  double dtt_f1 = RunOn("Syn-RV", dtt.get()).join.f1;
+  double cst_f1 = RunOn("Syn-RV", &cst).join.f1;
+  EXPECT_GT(dtt_f1, 0.3);
+  EXPECT_GT(dtt_f1, cst_f1 + 0.3);
+}
+
+TEST(IntegrationTest, AfjPerfectOnSynRp) {
+  // Replacement keeps heavy surface overlap — similarity joins shine
+  // (Table 1: AFJ F1 = 1.0 on Syn-RP).
+  AfjJoinMethod afj;
+  EXPECT_GT(RunOn("Syn-RP", &afj).join.f1, 0.9);
+}
+
+TEST(IntegrationTest, AfjCollapsesOnSynRv) {
+  // Full-size tables: with few rows a similarity join gets lucky, so this
+  // shape claim (Table 1: AFJ F1 = 0.037) needs the paper's 50-row tables.
+  AfjJoinMethod afj;
+  EXPECT_LT(RunOn("Syn-RV", &afj, /*scale=*/1.0).join.f1, 0.2);
+}
+
+TEST(IntegrationTest, DttOutperformsBaselinesOnWt) {
+  // Half-scale tables: at very small row counts CST's transformation set
+  // covers every style variant and the ordering becomes a coin flip.
+  auto dtt = MakeDttMethod();
+  CstJoinMethod cst;
+  AfjJoinMethod afj;
+  double dtt_f1 = RunOn("WT", dtt.get(), /*scale=*/0.5).join.f1;
+  double cst_f1 = RunOn("WT", &cst, /*scale=*/0.5).join.f1;
+  double afj_f1 = RunOn("WT", &afj, /*scale=*/0.5).join.f1;
+  EXPECT_GT(dtt_f1, 0.75);
+  EXPECT_GT(dtt_f1, cst_f1);
+  EXPECT_GT(dtt_f1, afj_f1);
+}
+
+TEST(IntegrationTest, KbwtHardForTextualMethods) {
+  CstJoinMethod cst;
+  double cst_f1 = RunOn("KBWT", &cst).join.f1;
+  EXPECT_LT(cst_f1, 0.35);  // Table 1: CST F = 0.083
+}
+
+TEST(IntegrationTest, AggregationLiftsNoisyAccuracy) {
+  // §5.10 Figure 6: more trials recover accuracy under noisy examples.
+  Dataset ds = MakeDatasetByName("Syn-ST", kSeed, kScale);
+  auto noisy = [](std::vector<ExamplePair>* ex, Rng* rng) {
+    AddExampleNoise(ex, 0.6, rng);
+  };
+  auto one_trial = MakeDttMethod(/*num_trials=*/1);
+  auto many_trials = MakeDttMethod(/*num_trials=*/9);
+  double f1_one = EvaluateOnDataset(one_trial.get(), ds, kSeed, noisy).join.f1;
+  double f1_many =
+      EvaluateOnDataset(many_trials.get(), ds, kSeed, noisy).join.f1;
+  EXPECT_GE(f1_many, f1_one);
+}
+
+TEST(IntegrationTest, Gpt3TwoExamplesBeatsOneExample) {
+  // Figure 3's headline: GPT-3 struggles with one example.
+  auto one = MakeGpt3PlainMethod(1);
+  auto two = MakeGpt3PlainMethod(2);
+  double f1_one = RunOn("SS", one.get()).join.f1;
+  double f1_two = RunOn("SS", two.get()).join.f1;
+  EXPECT_GT(f1_two, f1_one);
+}
+
+TEST(IntegrationTest, FrameworkBoostsGpt3) {
+  // Table 2: GPT3-DTT-2e >= GPT3-2e on average (decomposition +
+  // aggregation).
+  auto plain = MakeGpt3PlainMethod(2);
+  auto framework = MakeGpt3FrameworkMethod(2);
+  double sum_plain = 0.0, sum_framework = 0.0;
+  for (const char* name : {"SS", "Syn-ST"}) {
+    sum_plain += RunOn(name, plain.get()).join.f1;
+    sum_framework += RunOn(name, framework.get()).join.f1;
+  }
+  EXPECT_GE(sum_framework, sum_plain - 0.05);
+}
+
+TEST(IntegrationTest, Gpt3WeakOnSynRv) {
+  auto gpt3 = MakeGpt3FrameworkMethod(2);
+  EXPECT_LT(RunOn("Syn-RV", gpt3.get(), /*scale=*/1.0).join.f1, 0.3);
+}
+
+TEST(IntegrationTest, CombinedTracksBetterModel) {
+  // Table 3: the multi-model aggregator follows the more consistent model.
+  auto combined = MakeCombinedMethod();
+  auto dtt = MakeDttMethod();
+  double combined_rv = RunOn("Syn-RV", combined.get()).join.f1;
+  double dtt_rv = RunOn("Syn-RV", dtt.get()).join.f1;
+  EXPECT_GT(combined_rv, dtt_rv * 0.5);  // not dragged to GPT-3's ~0
+}
+
+TEST(IntegrationTest, NeuralPipelineEndToEndTrains) {
+  // The genuine neural path: train the tiny byte transformer on one
+  // transformation family and verify it learns better than chance within a
+  // few hundred steps.
+  Rng rng(kSeed);
+  nn::TransformerConfig cfg;
+  cfg.dim = 32;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 64;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 96;
+  auto model = std::make_shared<nn::Transformer>(cfg, &rng);
+
+  TrainingDataOptions dopts;
+  dopts.num_groups = 60;
+  dopts.pairs_per_group = 6;
+  dopts.sets_per_group = 3;
+  dopts.source.min_len = 4;
+  dopts.source.max_len = 8;
+  dopts.program.min_steps = 1;
+  dopts.program.max_steps = 1;
+  dopts.program.max_stack_depth = 1;
+  TrainingDataGenerator gen(dopts);
+  auto data = gen.Generate(&rng);
+
+  SerializerOptions sopts;
+  sopts.max_tokens = 96;
+  nn::TrainerOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = 8;
+  topts.adam.lr = 2e-3f;
+  nn::Seq2SeqTrainer trainer(model.get(), Serializer(sopts), topts);
+  auto before = trainer.Evaluate(data.validation, 30);
+  trainer.Train(data.train, &rng);
+  auto after = trainer.Evaluate(data.validation, 30);
+  EXPECT_LT(after.mean_loss, before.mean_loss * 0.9f);
+  EXPECT_LE(after.mean_aned, before.mean_aned + 0.05);
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,339 @@
+#include "models/alignment.h"
+
+#include <gtest/gtest.h>
+
+namespace dtt {
+namespace induction {
+namespace {
+
+TEST(PosRefTest, ResolveFromStart) {
+  PosRef p{2, false};
+  EXPECT_EQ(p.Resolve(5).value(), 2u);
+  EXPECT_EQ(PosRef({5, false}).Resolve(5).value(), 5u);
+  EXPECT_FALSE(PosRef({6, false}).Resolve(5).has_value());
+}
+
+TEST(PosRefTest, ResolveFromEnd) {
+  PosRef p{2, true};
+  EXPECT_EQ(p.Resolve(5).value(), 3u);
+  EXPECT_EQ(PosRef({0, true}).Resolve(5).value(), 5u);
+  EXPECT_FALSE(PosRef({6, true}).Resolve(5).has_value());
+}
+
+TEST(ApplyCaseTest, AllOps) {
+  EXPECT_EQ(ApplyCase(CaseOp::kNone, "AbC"), "AbC");
+  EXPECT_EQ(ApplyCase(CaseOp::kLower, "AbC"), "abc");
+  EXPECT_EQ(ApplyCase(CaseOp::kUpper, "AbC"), "ABC");
+}
+
+TEST(TokenCacheTest, FamiliesDecomposeDifferently) {
+  TokenCache cache("a-b c", " -");
+  ASSERT_EQ(cache.Tokens(0).size(), 3u);         // all separators
+  ASSERT_EQ(cache.Tokens(' ').size(), 2u);       // "a-b", "c"
+  EXPECT_EQ(cache.Tokens(' ')[0], "a-b");
+  ASSERT_EQ(cache.Tokens('-').size(), 2u);       // "a", "b c"
+  EXPECT_EQ(cache.Tokens('-')[1], "b c");
+  EXPECT_EQ(cache.present_separators(), " -");
+}
+
+TEST(AtomTest, LiteralApply) {
+  Atom a;
+  a.kind = Atom::Kind::kLiteral;
+  a.literal = "::";
+  TokenCache cache("whatever", " ");
+  EXPECT_EQ(a.Apply(cache).value(), "::");
+}
+
+TEST(AtomTest, CopyRangeApply) {
+  Atom a;
+  a.kind = Atom::Kind::kCopyRange;
+  a.begin = {1, false};
+  a.end = {4, false};
+  TokenCache cache("abcdef", " ");
+  EXPECT_EQ(a.Apply(cache).value(), "bcd");
+  a.begin = {3, true};  // from end: 6-3 = 3
+  a.end = {0, true};    // 6
+  EXPECT_EQ(a.Apply(cache).value(), "def");
+}
+
+TEST(AtomTest, CopyRangeOutOfRangeClampsToEmpty) {
+  // Clamping semantics mirror the transformation DSL: an out-of-range
+  // substr yields "" rather than failing the whole program.
+  Atom a;
+  a.kind = Atom::Kind::kCopyRange;
+  a.begin = {10, false};
+  a.end = {12, false};
+  TokenCache cache("abc", " ");
+  ASSERT_TRUE(a.Apply(cache).has_value());
+  EXPECT_EQ(a.Apply(cache).value(), "");
+}
+
+TEST(AtomTest, CopyRangeClampsTailOnShorterInput) {
+  // substr(4, 11) on a 9-char input yields chars [4, 9) like the DSL.
+  Atom a;
+  a.kind = Atom::Kind::kCopyRange;
+  a.begin = {4, false};
+  a.end = {11, false};
+  TokenCache cache("unkf_afx0", " _");
+  EXPECT_EQ(a.Apply(cache).value(), "_afx0");
+}
+
+TEST(AtomTest, CopyTokenApply) {
+  Atom a;
+  a.kind = Atom::Kind::kCopyToken;
+  a.token = {1, false};
+  TokenCache cache("John Smith", " ");
+  EXPECT_EQ(a.Apply(cache).value(), "Smith");
+  a.token = {1, true};  // last token
+  EXPECT_EQ(a.Apply(cache).value(), "Smith");
+  a.case_op = CaseOp::kLower;
+  EXPECT_EQ(a.Apply(cache).value(), "smith");
+}
+
+TEST(AtomTest, CopyTokenFamilySpecific) {
+  Atom a;
+  a.kind = Atom::Kind::kCopyToken;
+  a.family = '-';
+  a.token = {0, false};
+  TokenCache cache("ab cd-ef", " -");
+  // Family '-' splits only on '-': first token is "ab cd".
+  EXPECT_EQ(a.Apply(cache).value(), "ab cd");
+}
+
+TEST(AtomTest, CopyTokenSliceApply) {
+  Atom a;
+  a.kind = Atom::Kind::kCopyTokenSlice;
+  a.token = {0, false};
+  a.begin = {0, false};
+  a.end = {1, false};
+  a.case_op = CaseOp::kLower;
+  TokenCache cache("John Smith", " ");
+  EXPECT_EQ(a.Apply(cache).value(), "j");
+}
+
+TEST(AtomTest, CopyTokenMidSlice) {
+  Atom a;
+  a.kind = Atom::Kind::kCopyTokenSlice;
+  a.token = {0, false};
+  a.begin = {1, false};
+  a.end = {3, false};
+  TokenCache cache("abcdef", " ");
+  EXPECT_EQ(a.Apply(cache).value(), "bc");
+}
+
+TEST(AtomTest, KeysDistinguishDescriptors) {
+  Atom a, b;
+  a.kind = b.kind = Atom::Kind::kCopyToken;
+  a.token = {1, false};
+  b.token = {1, true};
+  EXPECT_NE(a.Key(), b.Key());
+  b.token = {1, false};
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+TEST(TokenizeCellTest, SplitsOnConfiguredSeparators) {
+  auto tokens = TokenizeCell("a-b c/d", " -/");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[3], "d");
+}
+
+InductionConfig DefaultCfg() { return InductionConfig{}; }
+
+TEST(SynthesizeTest, FindsIdentityCopy) {
+  auto programs = SynthesizePrograms({"hello", "hello"}, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("world", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "world");  // best program is positional copy, not literal
+}
+
+TEST(SynthesizeTest, FindsTokenExtraction) {
+  auto programs =
+      SynthesizePrograms({"John Smith", "Smith"}, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("Alice Walker", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "Walker");
+}
+
+TEST(SynthesizeTest, EmptyTargetYieldsNothing) {
+  EXPECT_TRUE(SynthesizePrograms({"abc", ""}, DefaultCfg()).empty());
+}
+
+TEST(SynthesizeTest, LiteralOnlyTargetStillExplained) {
+  auto programs = SynthesizePrograms({"abc", "zz"}, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  // Pure literal program reproduces the example's target on any input.
+  auto out = programs[0].Apply("other", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "zz");
+}
+
+TEST(SynthesizeCommonTest, GeneralizesUserIdPattern) {
+  // The Figure-1 pattern: first-initial.lastname, lower-cased.
+  std::vector<ExamplePair> examples = {
+      {"Justin Trudeau", "j.trudeau"},
+      {"Kim Campbell", "k.campbell"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("Paul Martin", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "p.martin");
+}
+
+TEST(SynthesizeCommonTest, GeneralizesSubstring) {
+  std::vector<ExamplePair> examples = {
+      {"abcdefgh", "cdef"},
+      {"12345678", "3456"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("qwertyui", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "erty");
+}
+
+TEST(SynthesizeCommonTest, GeneralizesTokenSwapWithLiteral) {
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "Smith, John"},
+      {"Alice Walker", "Walker, Alice"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("Maria Garcia", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "Garcia, Maria");
+}
+
+TEST(SynthesizeCommonTest, GeneralizesSplitThenSubstring) {
+  // The stacked unit split(' ',1) |> substr(1,4): a mid-token slice.
+  std::vector<ExamplePair> examples = {
+      {"qq abcdef", "bcd"},
+      {"zz tuvwxy", "uvw"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("kk mnopqr", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "nop");
+}
+
+TEST(SynthesizeCommonTest, GeneralizesSingleSeparatorSplit) {
+  // split('-', 1) on strings that also contain spaces: only the '-' family
+  // decomposition explains both examples.
+  std::vector<ExamplePair> examples = {
+      {"ab cd-ef gh", "ef gh"},
+      {"xy-z w", "z w"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("q r-stu v", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "stu v");
+}
+
+TEST(SynthesizeCommonTest, InconsistentExamplesYieldNoCommonProgram) {
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "Smith"},
+      {"Alice Walker", "zzzzz"},  // noise
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  // No positional program maps both; literal "Smith" != literal "zzzzz".
+  EXPECT_TRUE(programs.empty());
+}
+
+TEST(SynthesizeCommonTest, CaseOperationLearned) {
+  std::vector<ExamplePair> examples = {
+      {"Green Day", "GREEN"},
+      {"Pink Floyd", "PINK"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, DefaultCfg());
+  ASSERT_FALSE(programs.empty());
+  auto out = programs[0].Apply("Daft Punk", DefaultCfg().separators);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "DAFT");
+}
+
+TEST(SynthesizeCommonTest, DegradedConfigCannotDoSubstring) {
+  InductionConfig cfg;
+  cfg.allow_char_range = false;
+  cfg.allow_token_slice = false;
+  std::vector<ExamplePair> examples = {
+      {"abcdefgh", "cdef"},
+      {"12345678", "3456"},
+  };
+  auto programs = SynthesizeCommonPrograms(examples, cfg);
+  // Only whole tokens and literals available -> mid-string substring of a
+  // single token is inexpressible.
+  for (const auto& p : programs) {
+    auto out = p.Apply("qwertyui", cfg.separators);
+    if (out) EXPECT_NE(*out, "erty");
+  }
+}
+
+TEST(GlobalPatternTest, Identity) {
+  auto p = DetectGlobalPattern({{"abc", "abc"}, {"xy", "xy"}}, true, true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, GlobalPattern::Kind::kIdentity);
+  EXPECT_EQ(p->Apply("zz"), "zz");
+}
+
+TEST(GlobalPatternTest, LowerUpper) {
+  auto lower = DetectGlobalPattern({{"AbC", "abc"}}, true, true);
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(lower->kind, GlobalPattern::Kind::kLower);
+  auto upper = DetectGlobalPattern({{"AbC", "ABC"}}, true, true);
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->kind, GlobalPattern::Kind::kUpper);
+}
+
+TEST(GlobalPatternTest, ReverseDetected) {
+  auto p = DetectGlobalPattern({{"Hello", "olleH"}, {"ab", "ba"}}, true, true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, GlobalPattern::Kind::kReverse);
+  EXPECT_EQ(p->Apply("xyz"), "zyx");
+}
+
+TEST(GlobalPatternTest, ReverseDisabled) {
+  auto p = DetectGlobalPattern({{"Hello", "olleH"}, {"abc", "cba"}}, true,
+                               /*detect_reverse=*/false);
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(GlobalPatternTest, CharReplaceDetected) {
+  auto p = DetectGlobalPattern(
+      {{"2021/03/01", "2021-03-01"}, {"1999/12/31", "1999-12-31"}}, true, true);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, GlobalPattern::Kind::kCharReplace);
+  EXPECT_EQ(p->Apply("2000/01/02"), "2000-01-02");
+}
+
+TEST(GlobalPatternTest, InconsistentReplaceRejected) {
+  auto p = DetectGlobalPattern({{"aa", "ab"}}, true, true);
+  // 'a' would need to map to both 'a' and 'b'.
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(GlobalPatternTest, ReplaceDisabled) {
+  auto p = DetectGlobalPattern({{"a/b", "a-b"}, {"c/d", "c-d"}},
+                               /*detect_replace=*/false, true);
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(GlobalPatternTest, NoExamplesNoPattern) {
+  EXPECT_FALSE(DetectGlobalPattern({}, true, true).has_value());
+}
+
+TEST(AtomProgramTest, KeyStableAcrossEquivalentPrograms) {
+  auto p1 = SynthesizePrograms({"ab cd", "cd"}, DefaultCfg());
+  auto p2 = SynthesizePrograms({"xy zw", "zw"}, DefaultCfg());
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  // Both best programs should be "copy last token" with identical keys.
+  EXPECT_EQ(p1[0].Key(), p2[0].Key());
+}
+
+}  // namespace
+}  // namespace induction
+}  // namespace dtt

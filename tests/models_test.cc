@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "models/knowledge_lm.h"
+#include "models/neural_model.h"
+#include "models/noisy_model.h"
+#include "models/pattern_induction.h"
+#include "util/edit_distance.h"
+
+namespace dtt {
+namespace {
+
+Prompt MakePrompt(std::vector<ExamplePair> examples, std::string source) {
+  Prompt p;
+  p.examples = std::move(examples);
+  p.source = std::move(source);
+  return p;
+}
+
+TEST(PatternInductionModelTest, RequiresExamples) {
+  PatternInductionModel model;
+  auto r = model.Transform(MakePrompt({}, "x"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PatternInductionModelTest, LearnsUserIdPattern) {
+  PatternInductionOptions opts;
+  opts.generation_noise = 0.0;
+  PatternInductionModel model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"Justin Trudeau", "jtrudeau"}, {"Stephen Harper", "sharper"}},
+      "Kim Campbell"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "kcampbell");
+}
+
+TEST(PatternInductionModelTest, LearnsSubstringOnRandomText) {
+  PatternInductionOptions opts;
+  opts.generation_noise = 0.0;
+  PatternInductionModel model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"q7x#kpl2vw", "7x#k"}, {"m3z@tyu8ab", "3z@t"}}, "h5d!wqn9rt"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "5d!w");
+}
+
+TEST(PatternInductionModelTest, ReverseIsLossyButLengthSimilar) {
+  PatternInductionOptions opts;
+  opts.reverse_fidelity = 0.3;
+  PatternInductionModel model(opts);
+  std::string input = "abcdefghijklmnop";
+  auto r = model.Transform(MakePrompt(
+      {{"Hello", "olleH"}, {"World", "dlroW"}}, input));
+  ASSERT_TRUE(r.ok());
+  // Length drifts a little (drops/doubles) but stays in the right ballpark.
+  EXPECT_GE(r.value().size(), input.size() / 2);
+  EXPECT_LE(r.value().size(), input.size() * 2);
+  // Lossy: the exact reversal is not reproduced, but remains closer than a
+  // fully random string.
+  std::string exact = std::string(input.rbegin(), input.rend());
+  EXPECT_NE(r.value(), exact);
+  EXPECT_LT(EditDistance(r.value(), exact), input.size());
+}
+
+TEST(PatternInductionModelTest, ReverseFullFidelityIsExact) {
+  PatternInductionOptions opts;
+  opts.reverse_fidelity = 1.0;
+  PatternInductionModel model(opts);
+  auto r = model.Transform(
+      MakePrompt({{"Hello", "olleH"}, {"ab", "ba"}}, "xyz"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "zyx");
+}
+
+TEST(PatternInductionModelTest, ReplaceNearExact) {
+  PatternInductionOptions opts;
+  opts.replace_noise = 0.0;
+  PatternInductionModel model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"2021/03/01", "2021-03-01"}, {"1999/12/31", "1999-12-31"}},
+      "2010/07/15"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "2010-07-15");
+}
+
+TEST(PatternInductionModelTest, KbAnswersWhenExamplesGrounded) {
+  PatternInductionOptions opts;
+  opts.kb = KnowledgeBase::Builtin();  // full knowledge for the test
+  PatternInductionModel model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"California", "CA"}, {"Texas", "TX"}}, "Nevada"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "NV");
+}
+
+TEST(PatternInductionModelTest, DeterministicPerPrompt) {
+  PatternInductionModel model;
+  Prompt p = MakePrompt({{"Hello", "olleH"}, {"World", "dlroW"}}, "abcdef");
+  auto r1 = model.Transform(p);
+  auto r2 = model.Transform(p);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value(), r2.value());
+}
+
+TEST(PatternInductionModelTest, NoisyContextFallsBackToSingleExample) {
+  PatternInductionOptions opts;
+  opts.generation_noise = 0.0;
+  PatternInductionModel model(opts);
+  // Second example is garbage; no common program exists, but the model
+  // should still follow the first example rather than abstain.
+  auto r = model.Transform(MakePrompt(
+      {{"John Smith", "Smith"}, {"Alice Walker", "q#9!z"}}, "Maria Garcia"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().empty());
+}
+
+TEST(PatternInductionModelTest, AbstainsWhenNothingApplies) {
+  PatternInductionOptions opts;
+  opts.fallback_single_example = false;
+  PatternInductionModel model(opts);
+  // Different target lengths rule out the char-replace detector, and the
+  // unrelated literals rule out any common program.
+  auto r = model.Transform(
+      MakePrompt({{"abc", "xyzw"}, {"defg", "qq"}}, "ghi"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(PatternInductionModelTest, EqualLengthGarbageTriggersReplaceDetector) {
+  // Documented behaviour: equal-length targets admit a per-character map, so
+  // the model treats it as a (degenerate) replacement pattern.
+  PatternInductionOptions opts;
+  opts.fallback_single_example = false;
+  opts.replace_noise = 0.0;
+  PatternInductionModel model(opts);
+  auto r = model.Transform(
+      MakePrompt({{"abc", "xyz"}, {"def", "qqq"}}, "ad"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "xq");  // a->x, d->q from the learned map
+}
+
+TEST(KnowledgeLMTest, NaturalnessHighOnNames) {
+  Prompt p = MakePrompt({{"Justin Trudeau", "jtrudeau"}}, "Paul Martin");
+  EXPECT_GT(KnowledgeLM::Naturalness(p, " .-_/"), 0.8);
+}
+
+TEST(KnowledgeLMTest, NaturalnessLowOnRandomBytes) {
+  Prompt p = MakePrompt({{"q7Zx#kPl2vW", "7Zx#k"}}, "m3z@tYu8Ab");
+  EXPECT_LT(KnowledgeLM::Naturalness(p, " .-_/#@"), 0.5);
+}
+
+TEST(KnowledgeLMTest, AnswersFromKnowledgeBase) {
+  KnowledgeLMOptions opts;
+  opts.kb = KnowledgeBase::Builtin();
+  KnowledgeLM model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"France", "Paris"}, {"Japan", "Tokyo"}}, "Canada"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "Ottawa");
+}
+
+TEST(KnowledgeLMTest, NoReverseGeneralization) {
+  KnowledgeLMOptions opts;
+  opts.generation_noise = 0.0;
+  KnowledgeLM model(opts);
+  auto r = model.Transform(
+      MakePrompt({{"Hello", "olleH"}, {"World", "dlroW"}}, "abcdef"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value(), "fedcba");  // GPT-3 profile: cannot reverse
+}
+
+TEST(KnowledgeLMTest, StrongOnNaturalContent) {
+  KnowledgeLMOptions opts;
+  opts.generation_noise = 0.0;
+  KnowledgeLM model(opts);
+  auto r = model.Transform(MakePrompt(
+      {{"John Smith", "Smith, John"}, {"Alice Walker", "Walker, Alice"}},
+      "Maria Garcia"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "Garcia, Maria");
+}
+
+TEST(KnowledgeLMTest, OneExampleLessReliableThanTwo) {
+  KnowledgeLMOptions opts;
+  opts.generation_noise = 0.0;
+  KnowledgeLM model(opts);
+  // Score both settings over many inputs; 2 examples must win.
+  std::vector<std::pair<std::string, std::string>> rows = {
+      {"Maria Garcia", "Garcia"}, {"David Miller", "Miller"},
+      {"Sarah Davis", "Davis"},   {"Emma Wilson", "Wilson"},
+      {"James Moore", "Moore"},   {"Olivia Taylor", "Taylor"},
+      {"Henry White", "White"},   {"Grace Harris", "Harris"}};
+  int correct1 = 0, correct2 = 0;
+  for (const auto& [src, tgt] : rows) {
+    auto r1 = model.Transform(
+        MakePrompt({{"John Smith", "Smith"}}, src));
+    if (r1.ok() && r1.value() == tgt) ++correct1;
+    auto r2 = model.Transform(MakePrompt(
+        {{"John Smith", "Smith"}, {"Alice Walker", "Walker"}}, src));
+    if (r2.ok() && r2.value() == tgt) ++correct2;
+  }
+  EXPECT_GE(correct2, correct1);
+  EXPECT_EQ(correct2, static_cast<int>(rows.size()));
+}
+
+TEST(KnowledgeLMTest, EchoesInsteadOfAbstaining) {
+  KnowledgeLMOptions opts;
+  opts.echo_prob = 1.0;
+  opts.generation_noise = 0.0;
+  opts.echo_noise = 0.0;
+  KnowledgeLM model(opts);
+  // Unlearnable: target unrelated to source.
+  auto r = model.Transform(
+      MakePrompt({{"abc", "###"}, {"def", "%%%"}}, "ghi"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "ghi");
+}
+
+TEST(KnowledgeLMTest, DeterministicPerPrompt) {
+  KnowledgeLM model;
+  Prompt p = MakePrompt({{"q7x2vw", "7x"}, {"m3z8ab", "3z"}}, "h5d9rt");
+  auto a = model.Transform(p);
+  auto b = model.Transform(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(CorruptCharsTest, ZeroRateIsIdentity) {
+  Rng rng(1);
+  EXPECT_EQ(CorruptChars("hello world", 0.0, &rng), "hello world");
+}
+
+TEST(CorruptCharsTest, FullRateChangesMostCharacters) {
+  Rng rng(2);
+  std::string s(200, 'a');
+  std::string out = CorruptChars(s, 1.0, &rng);
+  int same = 0;
+  for (size_t i = 0; i < std::min(out.size(), s.size()); ++i) {
+    if (out[i] == 'a') ++same;
+  }
+  EXPECT_LT(same, 40);  // only accidental re-draws of 'a'
+}
+
+TEST(NoisyModelTest, WrapsAndCorrupts) {
+  auto inner = std::make_shared<PatternInductionModel>();
+  NoisyModel always_noisy(inner, /*failure_prob=*/1.0, /*char_noise=*/1.0,
+                          /*seed=*/3);
+  NoisyModel never_noisy(inner, /*failure_prob=*/0.0, /*char_noise=*/1.0,
+                         /*seed=*/3);
+  Prompt p = MakePrompt(
+      {{"John Smith", "Smith"}, {"Alice Walker", "Walker"}}, "Maria Garcia");
+  auto clean = never_noisy.Transform(p);
+  auto noisy = always_noisy.Transform(p);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(clean.value(), "Garcia");
+  EXPECT_NE(noisy.value(), "Garcia");
+  EXPECT_EQ(always_noisy.name(), "dtt+noise");
+}
+
+TEST(NeuralModelTest, ProducesSomeOutputUntrained) {
+  Rng rng(4);
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 128;
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = 128;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 8;
+  NeuralSeq2SeqModel model(transformer, Serializer(sopts), nopts);
+  auto r = model.Transform(MakePrompt({{"ab", "b"}}, "cd"));
+  ASSERT_TRUE(r.ok());  // untrained output is arbitrary but must not error
+  EXPECT_LE(r.value().size(), 8u);
+}
+
+TEST(NeuralModelTest, RejectsOverlongPrompt) {
+  Rng rng(5);
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 16;
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = 512;  // serializer permits more than the model
+  NeuralSeq2SeqModel model(transformer, Serializer(sopts));
+  auto r = model.Transform(MakePrompt(
+      {{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "b"}}, "cc"));
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,73 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dtt {
+namespace nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndSize) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromVectorAndMatrix) {
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.rank(), 1);
+  EXPECT_EQ(v.at(2), 3.0f);
+  Tensor m = Tensor::FromMatrix(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.at(1, 0), 3.0f);
+  EXPECT_EQ(m.at(0, 1), 2.0f);
+}
+
+TEST(TensorTest, AddInPlace) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({10, 20});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(0), 11.0f);
+  EXPECT_EQ(a.at(1), 22.0f);
+}
+
+TEST(TensorTest, AxpyInPlace) {
+  Tensor a = Tensor::FromVector({1, 1});
+  Tensor b = Tensor::FromVector({2, 4});
+  a.AxpyInPlace(0.5f, b);
+  EXPECT_EQ(a.at(0), 2.0f);
+  EXPECT_EQ(a.at(1), 3.0f);
+}
+
+TEST(TensorTest, SumAndNorm) {
+  Tensor t = Tensor::FromVector({3, 4});
+  EXPECT_EQ(t.Sum(), 7.0f);
+  EXPECT_FLOAT_EQ(t.L2Norm(), 5.0f);
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).SameShape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).SameShape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({6}).SameShape(Tensor({2, 3})));
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2,3]");
+  EXPECT_EQ(Tensor().ShapeString(), "[]");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dtt

@@ -1,0 +1,201 @@
+// Cross-module property tests: randomized round-trips and invariants that
+// tie the transformation DSL, the induction engine, the aggregator and the
+// joiner together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/aggregator.h"
+#include "core/joiner.h"
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "models/alignment.h"
+#include "text/serializer.h"
+#include "transform/sampler.h"
+#include "util/edit_distance.h"
+#include "util/string_util.h"
+
+namespace dtt {
+namespace {
+
+class SeededPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return static_cast<uint64_t>(GetParam()) + 1; }
+};
+
+// --- DSL -> induction round-trip -------------------------------------------
+// Sample a random transformation program, show the induction engine two of
+// its input/output pairs, and check it predicts the program's output on a
+// third, unseen input. The engine need not win every time (the paper's model
+// does not either), but must succeed on a clear majority.
+TEST_P(SeededPropertyTest, InductionRecoversSampledPrograms) {
+  Rng rng(seed());
+  ProgramOptions popts;
+  SourceTextOptions sopts;
+  induction::InductionConfig cfg;
+  int attempts = 0;
+  int successes = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    TransformProgram program = SampleProgram(popts, &rng);
+    std::vector<ExamplePair> pairs;
+    for (int i = 0; i < 3 && static_cast<int>(pairs.size()) < 3; ++i) {
+      for (int guard = 0; guard < 20; ++guard) {
+        std::string src = RandomSourceText(sopts, &rng);
+        std::string tgt = program.Apply(src);
+        if (!tgt.empty()) {
+          pairs.push_back({src, tgt});
+          break;
+        }
+      }
+    }
+    if (pairs.size() < 3) continue;
+    ++attempts;
+    auto programs = induction::SynthesizeCommonPrograms(
+        {pairs[0], pairs[1]}, cfg);
+    // Success when any of the top-3 programs generalizes (in the pipeline
+    // the aggregator votes across trials; two examples alone can genuinely
+    // under-determine the transformation).
+    for (size_t pi = 0; pi < programs.size() && pi < 3; ++pi) {
+      auto out = programs[pi].Apply(pairs[2].source, cfg.separators);
+      if (out && *out == pairs[2].target) {
+        ++successes;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(attempts, 10);
+  EXPECT_GE(static_cast<double>(successes) / attempts, 0.6)
+      << successes << "/" << attempts;
+}
+
+// --- Joiner returns the true arg-min ---------------------------------------
+TEST_P(SeededPropertyTest, JoinerMatchesBruteForceArgmin) {
+  Rng rng(seed() + 100);
+  SourceTextOptions sopts;
+  sopts.min_len = 4;
+  sopts.max_len = 12;
+  std::vector<std::string> targets;
+  for (int i = 0; i < 12; ++i) targets.push_back(RandomSourceText(sopts, &rng));
+  std::vector<std::string> preds;
+  for (int i = 0; i < 8; ++i) preds.push_back(RandomSourceText(sopts, &rng));
+
+  EditDistanceJoiner joiner;
+  JoinResult join = joiner.Join(preds, targets);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    size_t best = std::numeric_limits<size_t>::max();
+    for (const auto& t : targets) {
+      best = std::min(best, EditDistance(preds[i], t));
+    }
+    ASSERT_GE(join.matches[i].target_index, 0);
+    EXPECT_EQ(join.matches[i].edit_distance, best);
+    EXPECT_EQ(
+        EditDistance(preds[i],
+                     targets[static_cast<size_t>(join.matches[i].target_index)]),
+        best);
+  }
+}
+
+// --- Aggregator invariances --------------------------------------------------
+TEST_P(SeededPropertyTest, AggregatorIsPermutationInvariant) {
+  Rng rng(seed() + 200);
+  std::vector<std::string> votes;
+  for (int i = 0; i < 9; ++i) {
+    votes.push_back("v" + std::to_string(rng.NextBounded(4)));
+  }
+  Aggregator agg;
+  auto base = agg.Aggregate(votes);
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    rng.Shuffle(&votes);
+    auto again = agg.Aggregate(votes);
+    EXPECT_EQ(again.prediction, base.prediction);
+    EXPECT_EQ(again.support, base.support);
+  }
+}
+
+TEST_P(SeededPropertyTest, AggregatorWinnerHasMaxSupport) {
+  Rng rng(seed() + 300);
+  std::vector<std::string> votes;
+  for (int i = 0; i < 11; ++i) {
+    votes.push_back("v" + std::to_string(rng.NextBounded(5)));
+  }
+  Aggregator agg;
+  auto result = agg.Aggregate(votes);
+  for (const auto& candidate : votes) {
+    int count = static_cast<int>(
+        std::count(votes.begin(), votes.end(), candidate));
+    EXPECT_LE(count, result.support);
+  }
+}
+
+// --- Serializer respects the model's hard limit -----------------------------
+TEST_P(SeededPropertyTest, SerializedPromptsFitMaxTokens) {
+  Rng rng(seed() + 400);
+  SerializerOptions opts;
+  opts.max_tokens = 96;
+  Serializer serializer(opts);
+  SourceTextOptions sopts;
+  sopts.min_len = 20;
+  sopts.max_len = 80;  // rows deliberately larger than the budget
+  for (int trial = 0; trial < 20; ++trial) {
+    Prompt prompt;
+    for (int e = 0; e < 2; ++e) {
+      prompt.examples.push_back(
+          {RandomSourceText(sopts, &rng), RandomSourceText(sopts, &rng)});
+    }
+    prompt.source = RandomSourceText(sopts, &rng);
+    EXPECT_LE(serializer.EncodePrompt(prompt).size(),
+              static_cast<size_t>(opts.max_tokens));
+  }
+}
+
+// --- Noise injector properties ----------------------------------------------
+TEST_P(SeededPropertyTest, NoiseNeverTouchesSources) {
+  Rng rng(seed() + 500);
+  std::vector<ExamplePair> examples;
+  for (int i = 0; i < 30; ++i) {
+    examples.push_back({"src" + std::to_string(i), "tgt" + std::to_string(i)});
+  }
+  auto original = examples;
+  double ratio = rng.NextDouble();
+  AddExampleNoise(&examples, ratio, &rng);
+  for (size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_EQ(examples[i].source, original[i].source);
+  }
+}
+
+// --- End-to-end determinism ---------------------------------------------------
+TEST_P(SeededPropertyTest, PipelineIsDeterministicGivenSeed) {
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "smith"}, {"Alice Walker", "walker"},
+      {"Maria Garcia", "garcia"}, {"Emma Wilson", "wilson"},
+      {"David Miller", "miller"}};
+  DttPipeline p1(MakeDttModel());
+  DttPipeline p2(MakeDttModel());
+  Rng r1(seed() + 600), r2(seed() + 600);
+  auto a = p1.TransformRow("Sarah Davis", examples, &r1);
+  auto b = p2.TransformRow("Sarah Davis", examples, &r2);
+  EXPECT_EQ(a.prediction, b.prediction);
+  EXPECT_EQ(a.support, b.support);
+}
+
+// --- Global patterns are involutions/idempotent where expected -------------
+TEST_P(SeededPropertyTest, ReverseDetectorIsConsistentWithItsApply) {
+  Rng rng(seed() + 700);
+  SourceTextOptions sopts;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a = RandomSourceText(sopts, &rng);
+    std::string b = RandomSourceText(sopts, &rng);
+    std::vector<ExamplePair> ex = {{a, Reverse(a)}, {b, Reverse(b)}};
+    auto p = induction::DetectGlobalPattern(ex, true, true);
+    ASSERT_TRUE(p.has_value());
+    std::string c = RandomSourceText(sopts, &rng);
+    EXPECT_EQ(p->Apply(c), Reverse(c));
+    EXPECT_EQ(p->Apply(p->Apply(c)), c);  // reversal is an involution
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dtt

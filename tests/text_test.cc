@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "text/decomposer.h"
+#include "text/serializer.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "transform/sampler.h"
+
+namespace dtt {
+namespace {
+
+TEST(VocabTest, Layout) {
+  EXPECT_EQ(Vocab::kPad, 0);
+  EXPECT_EQ(Vocab::kSize, 261);
+  EXPECT_EQ(Vocab::ByteToken(0), Vocab::kByteOffset);
+  EXPECT_EQ(Vocab::ByteToken(255), Vocab::kSize - 1);
+}
+
+TEST(VocabTest, ByteRoundTrip) {
+  for (int b = 0; b < 256; ++b) {
+    int id = Vocab::ByteToken(static_cast<uint8_t>(b));
+    EXPECT_TRUE(Vocab::IsByte(id));
+    EXPECT_EQ(Vocab::TokenByte(id), b);
+  }
+  EXPECT_FALSE(Vocab::IsByte(Vocab::kSos));
+  EXPECT_FALSE(Vocab::IsByte(Vocab::kSize));
+}
+
+TEST(VocabTest, TokenNames) {
+  EXPECT_EQ(Vocab::TokenName(Vocab::kSos), "<sos>");
+  EXPECT_EQ(Vocab::TokenName(Vocab::kTr), "<tr>");
+  EXPECT_EQ(Vocab::TokenName(Vocab::ByteToken('a')), "a");
+  EXPECT_EQ(Vocab::TokenName(Vocab::ByteToken(0x01)), "\\x01");
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTrip) {
+  ByteTokenizer tok;
+  std::string text = "Hello, DTT! \xC3\xA9";  // includes multi-byte UTF-8
+  auto ids = tok.Encode(text);
+  EXPECT_EQ(ids.size(), text.size());
+  EXPECT_EQ(tok.Decode(ids), text);
+}
+
+TEST(TokenizerTest, SosEosWrapping) {
+  ByteTokenizer tok;
+  auto ids = tok.Encode("ab", /*add_sos_eos=*/true);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.front(), Vocab::kSos);
+  EXPECT_EQ(ids.back(), Vocab::kEos);
+  EXPECT_EQ(tok.Decode(ids), "ab");  // specials skipped
+}
+
+TEST(TokenizerTest, DecodeStopsAtEos) {
+  ByteTokenizer tok;
+  std::vector<int> ids = {Vocab::ByteToken('x'), Vocab::kEos,
+                          Vocab::ByteToken('y')};
+  EXPECT_EQ(tok.Decode(ids), "x");
+}
+
+class TokenizerRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenizerRoundTripTest, RandomStrings) {
+  ByteTokenizer tok;
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  SourceTextOptions opts;
+  for (int i = 0; i < 30; ++i) {
+    std::string s = RandomSourceText(opts, &rng);
+    EXPECT_EQ(tok.Decode(tok.Encode(s)), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerRoundTripTest, ::testing::Range(0, 5));
+
+TEST(SerializerTest, RenderMatchesPaperFormat) {
+  Serializer s;
+  Prompt p;
+  p.examples = {{"Justin Trudeau", "jtrudeau"}, {"Paul Martin", "pmartin"}};
+  p.source = "Jean Chretien";
+  EXPECT_EQ(s.RenderPrompt(p),
+            "<sos>Justin Trudeau<tr>jtrudeau<eoe>Paul Martin<tr>pmartin<eoe>"
+            "Jean Chretien<tr><eos>");
+}
+
+TEST(SerializerTest, EncodeStructure) {
+  Serializer s;
+  Prompt p;
+  p.examples = {{"ab", "c"}};
+  p.source = "xy";
+  auto ids = s.EncodePrompt(p);
+  // <sos> a b <tr> c <eoe> x y <tr> <eos>
+  std::vector<int> expected = {
+      Vocab::kSos,           Vocab::ByteToken('a'), Vocab::ByteToken('b'),
+      Vocab::kTr,            Vocab::ByteToken('c'), Vocab::kEoe,
+      Vocab::ByteToken('x'), Vocab::ByteToken('y'), Vocab::kTr,
+      Vocab::kEos};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(SerializerTest, LabelEncoding) {
+  Serializer s;
+  auto ids = s.EncodeLabel("ok");
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.front(), Vocab::kSos);
+  EXPECT_EQ(ids.back(), Vocab::kEos);
+}
+
+TEST(SerializerTest, RowBudgetFormula) {
+  SerializerOptions opts;
+  opts.max_tokens = 512;
+  Serializer s(opts);
+  // floor((L - specials) / (2k+1)), §4.1 with the 2k+3 specials reserved.
+  EXPECT_EQ(s.RowBudget(2), (512 - 7) / 5);
+  EXPECT_EQ(s.RowBudget(1), (512 - 5) / 3);
+  EXPECT_EQ(s.RowBudget(5), (512 - 13) / 11);
+}
+
+TEST(SerializerTest, TruncatedPromptFitsMaxTokens) {
+  SerializerOptions opts;
+  opts.max_tokens = 15;
+  Serializer s(opts);
+  Prompt p;
+  p.examples = {{"aaaaaaaaaa", "bbbbbbbbbb"}};
+  p.source = "cccccccccc";
+  auto ids = s.EncodePrompt(p);
+  EXPECT_LE(ids.size(), 15u);
+}
+
+TEST(SerializerTest, NoBudgetEnforcementWhenDisabled) {
+  SerializerOptions opts;
+  opts.max_tokens = 10;
+  opts.enforce_row_budget = false;
+  Serializer s(opts);
+  Prompt p;
+  p.examples = {{"aaaaaaaaaaaa", "b"}};
+  p.source = "c";
+  EXPECT_GT(s.EncodePrompt(p).size(), 10u);
+}
+
+TEST(DecomposerTest, EnumeratesAllSubsetsWhenFew) {
+  DecomposerOptions opts;
+  opts.context_size = 2;
+  opts.num_trials = 5;
+  Decomposer d(opts);
+  std::vector<ExamplePair> ex = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  Rng rng(1);
+  auto contexts = d.MakeContexts(ex, &rng);
+  EXPECT_EQ(contexts.size(), 3u);  // C(3,2) = 3 <= 5 trials
+  for (const auto& ctx : contexts) EXPECT_EQ(ctx.size(), 2u);
+}
+
+TEST(DecomposerTest, DrawsDistinctRandomSubsetsWhenMany) {
+  DecomposerOptions opts;
+  opts.context_size = 2;
+  opts.num_trials = 5;
+  Decomposer d(opts);
+  std::vector<ExamplePair> ex;
+  for (int i = 0; i < 20; ++i) {
+    ex.push_back({"s" + std::to_string(i), "t" + std::to_string(i)});
+  }
+  Rng rng(2);
+  auto contexts = d.MakeContexts(ex, &rng);
+  EXPECT_EQ(contexts.size(), 5u);
+  std::set<std::string> keys;
+  for (const auto& ctx : contexts) {
+    std::string key;
+    for (const auto& e : ctx) key += e.source + "|";
+    keys.insert(key);
+  }
+  EXPECT_EQ(keys.size(), 5u);  // all distinct
+}
+
+TEST(DecomposerTest, ContextSizeClampedToAvailableExamples) {
+  DecomposerOptions opts;
+  opts.context_size = 4;
+  opts.num_trials = 3;
+  Decomposer d(opts);
+  std::vector<ExamplePair> ex = {{"a", "1"}, {"b", "2"}};
+  Rng rng(3);
+  auto contexts = d.MakeContexts(ex, &rng);
+  ASSERT_EQ(contexts.size(), 1u);  // C(2,2) = 1
+  EXPECT_EQ(contexts[0].size(), 2u);
+}
+
+TEST(DecomposerTest, EmptyExamplesYieldNoContexts) {
+  Decomposer d;
+  Rng rng(4);
+  EXPECT_TRUE(d.MakeContexts({}, &rng).empty());
+}
+
+TEST(DecomposerTest, MakePromptsAttachesSource) {
+  Decomposer d;
+  std::vector<ExamplePair> ex = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  Rng rng(5);
+  auto prompts = d.MakePrompts("input", ex, &rng);
+  ASSERT_FALSE(prompts.empty());
+  for (const auto& p : prompts) EXPECT_EQ(p.source, "input");
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "transform/program.h"
+#include "transform/sampler.h"
+#include "transform/training_data.h"
+#include "transform/unit.h"
+
+namespace dtt {
+namespace {
+
+TEST(SubstringUnitTest, BasicRange) {
+  SubstringUnit u(1, 4);
+  EXPECT_EQ(u.Apply("abcdef"), "bcd");
+}
+
+TEST(SubstringUnitTest, NegativeIndices) {
+  SubstringUnit tail(-3, 1000);
+  EXPECT_EQ(tail.Apply("abcdef"), "def");
+  SubstringUnit mid(-4, -1);
+  EXPECT_EQ(mid.Apply("abcdef"), "cde");
+}
+
+TEST(SubstringUnitTest, OutOfRangeClampsToEmpty) {
+  SubstringUnit u(10, 20);
+  EXPECT_EQ(u.Apply("abc"), "");
+  SubstringUnit inverted(4, 2);
+  EXPECT_EQ(inverted.Apply("abcdef"), "");
+  SubstringUnit empty(0, 3);
+  EXPECT_EQ(empty.Apply(""), "");
+}
+
+TEST(SplitUnitTest, SelectsPart) {
+  SplitUnit u('-', 1);
+  EXPECT_EQ(u.Apply("a-b-c"), "b");
+}
+
+TEST(SplitUnitTest, NegativeIndexFromEnd) {
+  SplitUnit u('-', -1);
+  EXPECT_EQ(u.Apply("a-b-c"), "c");
+}
+
+TEST(SplitUnitTest, IndexOutOfRange) {
+  SplitUnit u('-', 5);
+  EXPECT_EQ(u.Apply("a-b"), "");
+  SplitUnit neg('-', -4);
+  EXPECT_EQ(neg.Apply("a-b"), "");
+}
+
+TEST(SplitUnitTest, ConsecutiveSeparatorsDropped) {
+  SplitUnit u(' ', 1);
+  EXPECT_EQ(u.Apply("a   b"), "b");
+}
+
+TEST(CaseUnitsTest, LowerUpper) {
+  EXPECT_EQ(LowercaseUnit().Apply("AbC"), "abc");
+  EXPECT_EQ(UppercaseUnit().Apply("AbC"), "ABC");
+}
+
+TEST(LiteralUnitTest, IgnoresInput) {
+  LiteralUnit u("::");
+  EXPECT_EQ(u.Apply("anything"), "::");
+  EXPECT_EQ(u.Apply(""), "::");
+}
+
+TEST(EvalOnlyUnitsTest, ReverseAndReplace) {
+  EXPECT_EQ(ReverseUnit().Apply("abc"), "cba");
+  ReplaceCharUnit r('/', '-');
+  EXPECT_EQ(r.Apply("a/b/c"), "a-b-c");
+  EXPECT_EQ(r.Apply("abc"), "abc");
+}
+
+TEST(UnitTest, CloneCopiesBehaviour) {
+  SubstringUnit u(1, 3);
+  auto clone = u.Clone();
+  EXPECT_EQ(clone->Apply("abcdef"), u.Apply("abcdef"));
+  EXPECT_EQ(clone->ToString(), u.ToString());
+}
+
+TEST(UnitTest, ToStringRoundtripNames) {
+  EXPECT_EQ(SubstringUnit(2, 5).ToString(), "substr(2,5)");
+  EXPECT_EQ(SplitUnit('/', -1).ToString(), "split('/',-1)");
+  EXPECT_EQ(LiteralUnit("x").ToString(), "literal(\"x\")");
+  EXPECT_EQ(std::string(UnitKindName(UnitKind::kReverse)), "reverse");
+}
+
+TEST(TransformStepTest, StackingPipesOutputs) {
+  // split('-',0) |> substr(0,2) |> upper
+  TransformStep step;
+  step.Append(std::make_unique<SplitUnit>('-', 0));
+  step.Append(std::make_unique<SubstringUnit>(0, 2));
+  step.Append(std::make_unique<UppercaseUnit>());
+  EXPECT_EQ(step.Apply("hello-world"), "HE");
+  EXPECT_EQ(step.depth(), 3u);
+}
+
+TEST(TransformStepTest, CopySemantics) {
+  TransformStep step;
+  step.Append(std::make_unique<SubstringUnit>(0, 2));
+  TransformStep copy = step;
+  EXPECT_EQ(copy.Apply("abcd"), "ab");
+  EXPECT_EQ(copy.ToString(), step.ToString());
+}
+
+TEST(TransformProgramTest, ConcatenatesStepOutputs) {
+  TransformProgram p;
+  TransformStep s1;
+  s1.Append(std::make_unique<SplitUnit>(' ', 1));
+  p.AppendStep(std::move(s1));
+  TransformStep s2;
+  s2.Append(std::make_unique<LiteralUnit>(", "));
+  p.AppendStep(std::move(s2));
+  TransformStep s3;
+  s3.Append(std::make_unique<SplitUnit>(' ', 0));
+  p.AppendStep(std::move(s3));
+  EXPECT_EQ(p.Apply("John Smith"), "Smith, John");
+}
+
+TEST(TransformProgramTest, UsesKind) {
+  TransformProgram p;
+  TransformStep s;
+  s.Append(std::make_unique<SplitUnit>(' ', 0));
+  s.Append(std::make_unique<LowercaseUnit>());
+  p.AppendStep(std::move(s));
+  EXPECT_TRUE(p.UsesKind(UnitKind::kSplit));
+  EXPECT_TRUE(p.UsesKind(UnitKind::kLowercase));
+  EXPECT_FALSE(p.UsesKind(UnitKind::kReverse));
+}
+
+TEST(SamplerTest, SourceTextRespectsLengthRange) {
+  SourceTextOptions opts;
+  opts.min_len = 10;
+  opts.max_len = 20;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = RandomSourceText(opts, &rng);
+    EXPECT_GE(s.size(), 8u);   // off-by-a-couple tolerated at boundaries
+    EXPECT_LE(s.size(), 22u);
+  }
+}
+
+TEST(SamplerTest, SourceTextDeterministic) {
+  SourceTextOptions opts;
+  Rng a(7), b(7);
+  EXPECT_EQ(RandomSourceText(opts, &a), RandomSourceText(opts, &b));
+}
+
+TEST(SamplerTest, ProgramsAreProductive) {
+  ProgramOptions opts;
+  SourceTextOptions sopts;
+  Rng rng(3);
+  int nonempty = 0;
+  for (int i = 0; i < 50; ++i) {
+    TransformProgram p = SampleProgram(opts, &rng);
+    for (int j = 0; j < 3; ++j) {
+      if (!p.Apply(RandomSourceText(sopts, &rng)).empty()) {
+        ++nonempty;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(nonempty, 45);  // rejection sampling keeps programs useful
+}
+
+TEST(SamplerTest, ExactStepCount) {
+  ProgramOptions opts;
+  Rng rng(9);
+  for (int steps = 1; steps <= 6; ++steps) {
+    TransformProgram p = SampleProgramWithSteps(opts, steps, &rng);
+    EXPECT_EQ(p.num_steps(), static_cast<size_t>(steps));
+  }
+}
+
+TEST(SamplerTest, StackDepthBounded) {
+  ProgramOptions opts;
+  opts.max_stack_depth = 3;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    TransformProgram p = SampleProgram(opts, &rng);
+    for (size_t s = 0; s < p.num_steps(); ++s) {
+      EXPECT_LE(p.step(s).depth(), 3u);
+    }
+  }
+}
+
+TEST(TrainingDataTest, GroupsHaveRequestedShape) {
+  TrainingDataOptions opts;
+  opts.num_groups = 12;
+  opts.pairs_per_group = 10;
+  TrainingDataGenerator gen(opts);
+  Rng rng(13);
+  auto groups = gen.GenerateGroups(&rng);
+  ASSERT_EQ(groups.size(), 12u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.pairs.size(), 10u);
+  }
+}
+
+TEST(TrainingDataTest, PairsConsistentWithProgram) {
+  TrainingDataOptions opts;
+  opts.num_groups = 8;
+  TrainingDataGenerator gen(opts);
+  Rng rng(17);
+  for (const auto& group : gen.GenerateGroups(&rng)) {
+    for (const auto& pair : group.pairs) {
+      EXPECT_EQ(group.program.Apply(pair.source), pair.target);
+    }
+  }
+}
+
+TEST(TrainingDataTest, InstancesMaskLastExample) {
+  TrainingDataOptions opts;
+  opts.num_groups = 5;
+  opts.examples_per_set = 3;
+  opts.sets_per_group = 2;
+  TrainingDataGenerator gen(opts);
+  Rng rng(19);
+  auto groups = gen.GenerateGroups(&rng);
+  auto instances = gen.MakeInstances(groups, &rng);
+  ASSERT_EQ(instances.size(), 10u);  // 5 groups x 2 sets
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.context.size(), 2u);  // k-1 context examples
+    EXPECT_FALSE(inst.input_source.empty());
+  }
+}
+
+TEST(TrainingDataTest, SplitIs80To20) {
+  TrainingDataOptions opts;
+  opts.num_groups = 25;
+  opts.sets_per_group = 4;
+  TrainingDataGenerator gen(opts);
+  Rng rng(23);
+  auto data = gen.Generate(&rng);
+  size_t total = data.train.size() + data.validation.size();
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(data.train.size(), 80u);
+}
+
+TEST(TrainingDataTest, DeterministicAcrossRuns) {
+  TrainingDataOptions opts;
+  opts.num_groups = 4;
+  TrainingDataGenerator gen(opts);
+  Rng a(31), b(31);
+  auto ga = gen.GenerateGroups(&a);
+  auto gb = gen.GenerateGroups(&b);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (size_t i = 0; i < ga.size(); ++i) {
+    ASSERT_EQ(ga[i].pairs.size(), gb[i].pairs.size());
+    for (size_t j = 0; j < ga[i].pairs.size(); ++j) {
+      EXPECT_EQ(ga[i].pairs[j], gb[i].pairs[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtt

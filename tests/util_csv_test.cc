@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dtt {
+namespace {
+
+TEST(CsvTest, ParsesSimple) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(result.ok());
+  const CsvTable& t = result.value();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows[0][0], "a");
+  EXPECT_EQ(t.rows[1][2], "3");
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  auto result = ParseCsv("\"a,b\",\"c\"\"d\",\"line\nbreak\"\n");
+  ASSERT_TRUE(result.ok());
+  const CsvTable& t = result.value();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows[0][0], "a,b");
+  EXPECT_EQ(t.rows[0][1], "c\"d");
+  EXPECT_EQ(t.rows[0][2], "line\nbreak");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto result = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[1][1], "d");
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto result = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().num_rows(), 2u);
+  EXPECT_EQ(result.value().rows[1][1], "d");
+}
+
+TEST(CsvTest, EmptyInput) {
+  auto result = ParseCsv("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 0u);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto result = ParseCsv("\"abc\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, TsvDelimiter) {
+  auto result = ParseCsv("a\tb\nc\td\n", '\t');
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][1], "b");
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvTable t;
+  t.rows = {{"plain", "with,comma", "with\"quote"}, {"a\nb", "", "z"}};
+  std::string text = WriteCsv(t);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().rows, t.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.rows = {{"x", "y"}, {"1", "2"}};
+  std::string path = ::testing::TempDir() + "/dtt_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,123 @@
+#include "util/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dtt {
+namespace {
+
+// Quadratic reference implementation for property testing.
+size_t ReferenceEditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::vector<size_t>> dp(a.size() + 1,
+                                      std::vector<size_t>(b.size() + 1, 0));
+  for (size_t i = 0; i <= a.size(); ++i) dp[i][0] = i;
+  for (size_t j = 0; j <= b.size(); ++j) dp[0][j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                           dp[i - 1][j - 1] + cost});
+    }
+  }
+  return dp[a.size()][b.size()];
+}
+
+std::string RandomString(Rng* rng, size_t max_len) {
+  static constexpr char kAlphabet[] = "abcde";  // small alphabet: collisions
+  size_t len = rng->NextBounded(max_len + 1);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return s;
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+class EditDistancePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistancePropertyTest, MatchesReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 40; ++i) {
+    std::string a = RandomString(&rng, 24);
+    std::string b = RandomString(&rng, 24);
+    EXPECT_EQ(EditDistance(a, b), ReferenceEditDistance(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(EditDistancePropertyTest, Symmetry) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  for (int i = 0; i < 40; ++i) {
+    std::string a = RandomString(&rng, 20);
+    std::string b = RandomString(&rng, 20);
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST_P(EditDistancePropertyTest, TriangleInequality) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 2000);
+  for (int i = 0; i < 25; ++i) {
+    std::string a = RandomString(&rng, 14);
+    std::string b = RandomString(&rng, 14);
+    std::string c = RandomString(&rng, 14);
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST_P(EditDistancePropertyTest, BoundedAgreesWhenWithinBound) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 3000);
+  for (int i = 0; i < 40; ++i) {
+    std::string a = RandomString(&rng, 18);
+    std::string b = RandomString(&rng, 18);
+    size_t exact = EditDistance(a, b);
+    for (size_t bound : {exact, exact + 1, exact + 5}) {
+      EXPECT_EQ(BoundedEditDistance(a, b, bound), exact)
+          << "a=" << a << " b=" << b << " bound=" << bound;
+    }
+    if (exact > 0) {
+      EXPECT_GT(BoundedEditDistance(a, b, exact - 1), exact - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(EditDistanceTest, BoundedShortCircuitsOnLengthGap) {
+  EXPECT_GT(BoundedEditDistance("aaaaaaaaaa", "a", 3), 3u);
+}
+
+TEST(NormalizedEditDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", "ab"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("ab", "ax"), 0.5);
+}
+
+TEST(NormalizedEditDistanceTest, CanExceedOneForLongPredictions) {
+  EXPECT_GT(NormalizedEditDistance("aaaaaa", "b"), 1.0);
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  double s = EditSimilarity("abcd", "abxd");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace dtt {
+namespace {
+
+TEST(LoggingTest, LevelFilteringRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Filtered-out levels must not crash when streamed.
+  DTT_LOGS(Info) << "dropped";
+  DTT_LOGS(Debug) << "also dropped " << 42;
+  SetLogLevel(LogLevel::kDebug);
+  DTT_LOGS(Debug) << "emitted";
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = watch.Seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  EXPECT_NEAR(watch.Millis(), watch.Seconds() * 1e3, 50.0);
+  watch.Restart();
+  EXPECT_LT(watch.Seconds(), 0.015);
+}
+
+TEST(NaturalnessTest, WordLikeTokens) {
+  EXPECT_TRUE(IsWordLikeToken("hello"));
+  EXPECT_TRUE(IsWordLikeToken("Hello"));
+  EXPECT_TRUE(IsWordLikeToken("HELLO"));
+  EXPECT_TRUE(IsWordLikeToken("1234"));
+  EXPECT_TRUE(IsWordLikeToken("a"));  // too short to judge
+  EXPECT_FALSE(IsWordLikeToken("xKz9"));   // mixed alnum
+  EXPECT_FALSE(IsWordLikeToken("bcdfg"));  // no vowel
+  EXPECT_FALSE(IsWordLikeToken("hEllO"));  // random case pattern
+}
+
+TEST(NaturalnessTest, ContentNaturalnessAggregates) {
+  EXPECT_GT(ContentNaturalness({"John Smith", "Alice"}, " "), 0.9);
+  EXPECT_LT(ContentNaturalness({"q7Zx#kPl", "m3z@tYu"}, " #@"), 0.5);
+  EXPECT_DOUBLE_EQ(ContentNaturalness({"a", "b"}, " "), 1.0);  // nothing long
+}
+
+TEST(NaturalnessTest, DigitsToggle) {
+  // A phone number is natural for a byte-level model, OOD for subword.
+  std::vector<std::string_view> cells = {"7804921234"};
+  EXPECT_DOUBLE_EQ(ContentNaturalness(cells, " ", true), 1.0);
+  EXPECT_DOUBLE_EQ(ContentNaturalness(cells, " ", false), 0.0);
+}
+
+TEST(LcsTest, LongestCommonSubsequence) {
+  EXPECT_EQ(LongestCommonSubsequenceLen("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequenceLen("abc", "cba"), 1u);
+  EXPECT_EQ(LongestCommonSubsequenceLen("", "abc"), 0u);
+  EXPECT_EQ(LongestCommonSubsequenceLen("same", "same"), 4u);
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,160 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dtt {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, NextBoundedStaysInRange) {
+  Rng rng(99);
+  uint64_t bound = GetParam();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 10u, 100u, 1000u,
+                                           1u << 20, (1ull << 62) + 3));
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextGaussianRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(13);
+  int trues = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++trues;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, NextWeightedRespectsZeroWeights) {
+  Rng rng(17);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.NextWeighted(w), 1u);
+}
+
+TEST(RngTest, NextWeightedDistribution) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 3.0};
+  int hits1 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextWeighted(w) == 1) ++hits1;
+  }
+  EXPECT_NEAR(static_cast<double>(hits1) / n, 0.75, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, SampleDistinctAndInRange) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.Sample(10, 4);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (size_t s : sample) EXPECT_LT(s, 10u);
+  }
+}
+
+TEST(RngTest, SampleFull) {
+  Rng rng(37);
+  auto sample = rng.Sample(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(41);
+  Rng f1 = a.Fork(7);
+  Rng f2 = a.Fork(7);
+  Rng f3 = a.Fork(8);
+  EXPECT_EQ(f1.Next(), f2.Next());
+  EXPECT_NE(f1.Next(), f3.Next());
+}
+
+TEST(RngTest, ForkDoesNotDisturbParent) {
+  Rng a(43), b(43);
+  (void)a.Fork(1);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, HashStringStableAndSpread) {
+  EXPECT_EQ(Rng::HashString("abc"), Rng::HashString("abc"));
+  EXPECT_NE(Rng::HashString("abc"), Rng::HashString("abd"));
+  EXPECT_NE(Rng::HashString(""), Rng::HashString(" "));
+}
+
+}  // namespace
+}  // namespace dtt

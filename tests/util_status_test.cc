@@ -1,0 +1,98 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dtt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status UsesReturnNotOk() {
+  DTT_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kIOError);
+}
+
+Result<int> GiveInt(bool ok) {
+  if (ok) return 7;
+  return Status::Internal("no int");
+}
+
+Status UsesAssignOrReturn(bool ok, int* out) {
+  DTT_ASSIGN_OR_RETURN(int v, GiveInt(ok));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssigns) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(true, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_EQ(UsesAssignOrReturn(false, &out).code(), StatusCode::kInternal);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace dtt

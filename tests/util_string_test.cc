@@ -1,0 +1,140 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dtt {
+namespace {
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(ToUpper("AbC-12"), "ABC-12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Reverse) {
+  EXPECT_EQ(Reverse("Hello"), "olleH");
+  EXPECT_EQ(Reverse(""), "");
+  EXPECT_EQ(Reverse("a"), "a");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitAnyDropsEmpty) {
+  auto parts = SplitAny("a--b_c", "-_");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitAnyAllSeparators) {
+  EXPECT_TRUE(SplitAny("---", "-").empty());
+  EXPECT_TRUE(SplitAny("", "-").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(Strip("  ab \t\n"), "ab");
+  EXPECT_EQ(Strip("ab"), "ab");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty pattern no-op
+  EXPECT_EQ(ReplaceAll("abc", "d", "x"), "abc");
+}
+
+TEST(StringUtilTest, CommonPrefixSuffix) {
+  EXPECT_EQ(CommonPrefixLen("abcde", "abxde"), 2u);
+  EXPECT_EQ(CommonSuffixLen("abcde", "abxde"), 2u);
+  EXPECT_EQ(CommonPrefixLen("", "abc"), 0u);
+  EXPECT_EQ(CommonPrefixLen("same", "same"), 4u);
+}
+
+TEST(StringUtilTest, LongestCommonSubstringBasic) {
+  auto lcs = LongestCommonSubstring("xxhelloyy", "zzhellow");
+  EXPECT_EQ(lcs.len, 5u);
+  EXPECT_EQ(std::string("xxhelloyy").substr(lcs.pos_a, lcs.len), "hello");
+}
+
+TEST(StringUtilTest, LongestCommonSubstringTieBreaksDeterministic) {
+  auto lcs = LongestCommonSubstring("abXcd", "ab-cd");
+  EXPECT_EQ(lcs.len, 2u);
+  EXPECT_EQ(lcs.pos_a, 0u);  // earliest
+}
+
+TEST(StringUtilTest, LongestCommonSubstringEmpty) {
+  EXPECT_EQ(LongestCommonSubstring("", "abc").len, 0u);
+  EXPECT_EQ(LongestCommonSubstring("abc", "").len, 0u);
+}
+
+TEST(StringUtilTest, LongestCommonSubstringNoCase) {
+  auto lcs = LongestCommonSubstringNoCase("HELLO", "hello");
+  EXPECT_EQ(lcs.len, 5u);
+}
+
+TEST(StringUtilTest, QGrams) {
+  auto grams = QGrams("abcd", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_EQ(grams[2], "cd");
+  EXPECT_TRUE(QGrams("a", 2).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(StringUtilTest, QGramJaccardIdentity) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("hello", "hello", 2), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("", "", 2), 1.0);
+  EXPECT_EQ(QGramJaccard("abcd", "wxyz", 2), 0.0);
+}
+
+TEST(StringUtilTest, QGramJaccardPartial) {
+  double sim = QGramJaccard("night", "nacht", 2);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(StringUtilTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "c b a"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_NEAR(TokenJaccard("a b", "b c"), 1.0 / 3.0, 1e-9);
+}
+
+TEST(StringUtilTest, IsDigits) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-12"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace dtt
