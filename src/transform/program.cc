@@ -48,7 +48,9 @@ std::string TransformProgram::ToString() const {
   std::string out;
   for (size_t i = 0; i < steps_.size(); ++i) {
     if (i) out += " + ";
-    out += "[" + steps_[i].ToString() + "]";
+    out += '[';
+    out += steps_[i].ToString();
+    out += ']';
   }
   return out;
 }

@@ -1,0 +1,138 @@
+#include "data/noise.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/table.h"
+#include "testing/random_table.h"
+#include "transform/training_data.h"
+#include "util/rng.h"
+
+namespace dtt {
+namespace {
+
+std::vector<ExamplePair> MakeExamples(size_t n) {
+  std::vector<ExamplePair> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Empty targets can never be produced by the noise text sampler
+    // (min_len >= 4), so a non-empty target marks a corrupted pair.
+    out.push_back({"src" + std::to_string(i), ""});
+  }
+  return out;
+}
+
+size_t CountCorrupted(const std::vector<ExamplePair>& examples) {
+  size_t n = 0;
+  for (const auto& e : examples) {
+    if (!e.target.empty()) ++n;
+  }
+  return n;
+}
+
+TEST(NoiseTest, EmptyInputIsNoOp) {
+  std::vector<ExamplePair> empty;
+  Rng rng(1);
+  EXPECT_EQ(AddExampleNoise(&empty, 0.5, &rng), 0u);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(NoiseTest, ZeroRatioCorruptsNothing) {
+  auto examples = MakeExamples(10);
+  const auto original = examples;
+  Rng rng(2);
+  EXPECT_EQ(AddExampleNoise(&examples, 0.0, &rng), 0u);
+  EXPECT_EQ(examples, original);
+}
+
+TEST(NoiseTest, NegativeRatioCorruptsNothing) {
+  auto examples = MakeExamples(10);
+  const auto original = examples;
+  Rng rng(3);
+  EXPECT_EQ(AddExampleNoise(&examples, -0.25, &rng), 0u);
+  EXPECT_EQ(examples, original);
+}
+
+TEST(NoiseTest, FullRatioCorruptsEveryPair) {
+  auto examples = MakeExamples(8);
+  Rng rng(4);
+  EXPECT_EQ(AddExampleNoise(&examples, 1.0, &rng), 8u);
+  EXPECT_EQ(CountCorrupted(examples), 8u);
+  for (size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_EQ(examples[i].source, "src" + std::to_string(i));  // sources kept
+  }
+}
+
+TEST(NoiseTest, RatioAboveOneClampsToAllPairs) {
+  auto examples = MakeExamples(5);
+  Rng rng(5);
+  EXPECT_EQ(AddExampleNoise(&examples, 3.0, &rng), 5u);
+  EXPECT_EQ(CountCorrupted(examples), 5u);
+}
+
+TEST(NoiseTest, CorruptedCountRoundsToNearest) {
+  // 3 * 0.5 + 0.5 rounds to 2.
+  auto examples = MakeExamples(3);
+  Rng rng(6);
+  EXPECT_EQ(AddExampleNoise(&examples, 0.5, &rng), 2u);
+  EXPECT_EQ(CountCorrupted(examples), 2u);
+
+  // 10 * 0.25 is exact.
+  auto more = MakeExamples(10);
+  Rng rng2(7);
+  EXPECT_EQ(AddExampleNoise(&more, 0.25, &rng2), 3u);  // round(2.5 + 0.5)
+  EXPECT_EQ(CountCorrupted(more), 3u);
+}
+
+TEST(NoiseTest, DeterministicUnderFixedSeed) {
+  auto a = MakeExamples(32);
+  auto b = MakeExamples(32);
+  Rng rng_a(1234);
+  Rng rng_b(1234);
+  EXPECT_EQ(AddExampleNoise(&a, 0.5, &rng_a), AddExampleNoise(&b, 0.5, &rng_b));
+  EXPECT_EQ(a, b);
+
+  // A different seed corrupts a different subset (or different texts).
+  auto c = MakeExamples(32);
+  Rng rng_c(987654321);
+  AddExampleNoise(&c, 0.5, &rng_c);
+  EXPECT_NE(a, c);
+}
+
+TEST(NoiseTest, WithExampleNoiseMatchesInPlaceVariant) {
+  auto in_place = MakeExamples(16);
+  Rng rng_a(99);
+  AddExampleNoise(&in_place, 0.75, &rng_a);
+
+  Rng rng_b(99);
+  auto copied = WithExampleNoise(MakeExamples(16), 0.75, &rng_b);
+  EXPECT_EQ(in_place, copied);
+}
+
+TEST(NoiseTest, CorruptsRandomTableExamples) {
+  // End-to-end with the shared generator: split a random table and corrupt
+  // a quarter of its example pairs.
+  Rng rng(2024);
+  testing::RandomTableOptions opts;
+  opts.num_rows = 40;
+  TablePair table = testing::RandomTablePair("noise_t", opts, &rng);
+  TableSplit split = SplitTable(table, &rng);
+  const auto original = split.examples;
+  ASSERT_FALSE(original.empty());
+
+  const size_t corrupted = AddExampleNoise(&split.examples, 0.25, &rng);
+  EXPECT_EQ(corrupted,
+            static_cast<size_t>(original.size() * 0.25 + 0.5));
+  size_t changed = 0;
+  ASSERT_EQ(split.examples.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(split.examples[i].source, original[i].source);
+    if (split.examples[i].target != original[i].target) ++changed;
+  }
+  EXPECT_EQ(changed, corrupted);
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "data/knowledge_base.h"
 #include "data/names.h"
 #include "data/noise.h"
 #include "data/realworld_datasets.h"
 #include "data/synthetic_datasets.h"
 #include "data/table.h"
+#include "testing/random_table.h"
 
 namespace dtt {
 namespace {
@@ -65,6 +69,35 @@ TEST(TableTest, SplitDeterministicPerSeed) {
   for (size_t i = 0; i < s1.examples.size(); ++i) {
     EXPECT_EQ(s1.examples[i], s2.examples[i]);
   }
+}
+
+TEST(TableTest, SplitPartitionsRandomTable) {
+  // The shared random-table generator produces pairwise-distinct sources, so
+  // the split must partition the rows exactly: every row lands in precisely
+  // one of Se/St and nothing is invented.
+  Rng rng(4);
+  testing::RandomTableOptions opts;
+  opts.num_rows = 30;
+  TablePair t = testing::RandomTablePair("random", opts, &rng);
+  ASSERT_EQ(t.num_rows(), 30u);
+
+  TableSplit split = SplitTable(t, &rng);
+  EXPECT_EQ(split.examples.size() + split.test.size(), t.num_rows());
+
+  std::map<std::string, std::string> by_source;
+  for (size_t i = 0; i < t.num_rows(); ++i) by_source[t.source[i]] = t.target[i];
+  ASSERT_EQ(by_source.size(), t.num_rows());  // generator keeps sources unique
+  size_t seen = 0;
+  for (const auto* half : {&split.examples, &split.test}) {
+    for (const auto& p : *half) {
+      auto it = by_source.find(p.source);
+      ASSERT_NE(it, by_source.end());
+      EXPECT_EQ(p.target, it->second);
+      by_source.erase(it);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, t.num_rows());
 }
 
 TEST(KnowledgeBaseTest, BuiltinContents) {

@@ -268,7 +268,9 @@ TEST(SynthesizeCommonTest, DegradedConfigCannotDoSubstring) {
   // single token is inexpressible.
   for (const auto& p : programs) {
     auto out = p.Apply("qwertyui", cfg.separators);
-    if (out) EXPECT_NE(*out, "erty");
+    if (out) {
+      EXPECT_NE(*out, "erty");
+    }
   }
 }
 

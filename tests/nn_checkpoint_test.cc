@@ -1,0 +1,153 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "nn/tensor.h"
+#include "testing/matchers.h"
+#include "testing/temp_dir.h"
+
+namespace dtt {
+namespace nn {
+namespace {
+
+using ::dtt::testing::TempDirTest;
+
+NamedParam MakeParam(const std::string& name, Tensor value) {
+  return {name, Var::Leaf(std::move(value), /*requires_grad=*/true)};
+}
+
+std::vector<NamedParam> SmallParams() {
+  std::vector<NamedParam> params;
+  params.push_back(MakeParam("embed.w", Tensor::FromMatrix(2, 3, {0.5f, -1.25f,
+                                                                  3e-8f, -0.0f,
+                                                                  42.0f, 7.5f})));
+  params.push_back(MakeParam("out.b", Tensor::FromVector(
+                                          {std::numeric_limits<float>::min(),
+                                           -2.5f, 1e20f})));
+  return params;
+}
+
+/// Structurally identical params with different contents, for load targets.
+std::vector<NamedParam> SmallParamsOtherValues() {
+  std::vector<NamedParam> params;
+  params.push_back(MakeParam("embed.w", Tensor::Full({2, 3}, 9.0f)));
+  params.push_back(MakeParam("out.b", Tensor::Full({3}, -9.0f)));
+  return params;
+}
+
+class CheckpointTest : public TempDirTest {};
+
+TEST_F(CheckpointTest, SaveLoadRestoresExactValues) {
+  const std::string path = TempFile("ckpt.bin");
+  auto saved = SmallParams();
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  auto loaded = SmallParamsOtherValues();
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_TENSOR_EQ(loaded[i].var.value(), saved[i].var.value());
+  }
+}
+
+TEST_F(CheckpointTest, LoadMatchesByNameNotOrder) {
+  const std::string path = TempFile("ckpt.bin");
+  auto saved = SmallParams();
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  // Destination lists the same parameters in reverse order.
+  auto loaded = SmallParamsOtherValues();
+  std::swap(loaded[0], loaded[1]);
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded).ok());
+  EXPECT_EQ(loaded[0].name, "out.b");
+  EXPECT_TENSOR_EQ(loaded[0].var.value(), saved[1].var.value());
+  EXPECT_TENSOR_EQ(loaded[1].var.value(), saved[0].var.value());
+}
+
+TEST_F(CheckpointTest, SaveLoadEmptyParamList) {
+  const std::string path = TempFile("empty.bin");
+  std::vector<NamedParam> none;
+  ASSERT_TRUE(SaveCheckpoint(path, none).ok());
+  EXPECT_TRUE(LoadCheckpoint(path, &none).ok());
+}
+
+TEST_F(CheckpointTest, LoadRejectsShapeMismatch) {
+  const std::string path = TempFile("ckpt.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, SmallParams()).ok());
+
+  std::vector<NamedParam> wrong;
+  wrong.push_back(MakeParam("embed.w", Tensor::Zeros({3, 2})));  // transposed
+  wrong.push_back(MakeParam("out.b", Tensor::Zeros({3})));
+  EXPECT_FALSE(LoadCheckpoint(path, &wrong).ok());
+}
+
+TEST_F(CheckpointTest, LoadRejectsUnknownName) {
+  const std::string path = TempFile("ckpt.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, SmallParams()).ok());
+
+  std::vector<NamedParam> wrong;
+  wrong.push_back(MakeParam("embed.w", Tensor::Zeros({2, 3})));
+  wrong.push_back(MakeParam("renamed.b", Tensor::Zeros({3})));
+  EXPECT_FALSE(LoadCheckpoint(path, &wrong).ok());
+}
+
+TEST_F(CheckpointTest, LoadRejectsParamCountMismatch) {
+  const std::string path = TempFile("ckpt.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, SmallParams()).ok());
+
+  std::vector<NamedParam> fewer;
+  fewer.push_back(MakeParam("embed.w", Tensor::Zeros({2, 3})));
+  EXPECT_FALSE(LoadCheckpoint(path, &fewer).ok());
+}
+
+TEST_F(CheckpointTest, LoadRejectsBadMagic) {
+  const std::string path = TempFile("bad_magic.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTACKPTxxxxxxxxxxxxxxxx";
+  }
+  auto params = SmallParams();
+  EXPECT_FALSE(LoadCheckpoint(path, &params).ok());
+}
+
+TEST_F(CheckpointTest, LoadRejectsTruncatedFile) {
+  const std::string full_path = TempFile("full.bin");
+  auto saved = SmallParams();
+  ASSERT_TRUE(SaveCheckpoint(full_path, saved).ok());
+
+  std::ifstream is(full_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+  ASSERT_GT(bytes.size(), 16u);
+
+  // Cut inside the float payload of the last parameter.
+  const std::string trunc_path = TempFile("trunc.bin");
+  {
+    std::ofstream os(trunc_path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  auto params = SmallParamsOtherValues();
+  EXPECT_FALSE(LoadCheckpoint(trunc_path, &params).ok());
+}
+
+TEST_F(CheckpointTest, LoadMissingFileFails) {
+  auto params = SmallParams();
+  EXPECT_FALSE(LoadCheckpoint(TempFile("does_not_exist.bin"), &params).ok());
+}
+
+TEST_F(CheckpointTest, SaveToUnwritablePathFails) {
+  EXPECT_FALSE(
+      SaveCheckpoint(TempFile("no_such_dir/ckpt.bin"), SmallParams()).ok());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dtt

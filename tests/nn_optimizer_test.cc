@@ -1,0 +1,158 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "nn/tensor.h"
+#include "testing/matchers.h"
+
+namespace dtt {
+namespace nn {
+namespace {
+
+NamedParam MakeParam(const std::string& name, std::vector<float> values) {
+  return {name, Var::Leaf(Tensor::FromVector(values), /*requires_grad=*/true)};
+}
+
+void SetGrad(const NamedParam& p, std::vector<float> values) {
+  p.var.node()->AccumulateGrad(Tensor::FromVector(values));
+}
+
+TEST(AdamTest, StepMovesAgainstGradient) {
+  auto p = MakeParam("w", {1.0f, -1.0f});
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.clip_norm = 0.0f;  // isolate the Adam update from clipping
+  Adam adam({p}, opts);
+
+  SetGrad(p, {1.0f, -1.0f});
+  adam.Step();
+  // With a fresh optimizer state, bias correction makes mhat == g and
+  // vhat == g*g, so the first update is lr * sign(g) (up to eps).
+  EXPECT_NEAR(p.var.value().at(0), 1.0f - 0.1f, 1e-4f);
+  EXPECT_NEAR(p.var.value().at(1), -1.0f + 0.1f, 1e-4f);
+}
+
+TEST(AdamTest, StepClearsGradients) {
+  auto p = MakeParam("w", {1.0f});
+  Adam adam({p}, AdamOptions{});
+  SetGrad(p, {2.0f});
+  ASSERT_TRUE(p.var.node()->HasGrad());
+  adam.Step();
+  EXPECT_FALSE(p.var.node()->HasGrad());
+}
+
+TEST(AdamTest, ZeroGradClearsWithoutUpdating) {
+  auto p = MakeParam("w", {3.0f});
+  Adam adam({p}, AdamOptions{});
+  SetGrad(p, {5.0f});
+  adam.ZeroGrad();
+  EXPECT_FALSE(p.var.node()->HasGrad());
+  EXPECT_EQ(adam.step_count(), 0);
+  EXPECT_TENSOR_EQ(p.var.value(), Tensor::FromVector({3.0f}));
+}
+
+TEST(AdamTest, StepWithoutGradLeavesParamUntouchedButCounts) {
+  auto p = MakeParam("w", {3.0f});
+  Adam adam({p}, AdamOptions{});
+  adam.Step();  // no gradient accumulated anywhere
+  EXPECT_EQ(adam.step_count(), 1);
+  EXPECT_EQ(adam.last_grad_norm(), 0.0f);
+  EXPECT_TENSOR_EQ(p.var.value(), Tensor::FromVector({3.0f}));
+}
+
+TEST(AdamTest, StepCountIncrements) {
+  auto p = MakeParam("w", {0.0f});
+  Adam adam({p}, AdamOptions{});
+  EXPECT_EQ(adam.step_count(), 0);
+  for (int i = 1; i <= 3; ++i) {
+    SetGrad(p, {1.0f});
+    adam.Step();
+    EXPECT_EQ(adam.step_count(), i);
+  }
+}
+
+TEST(AdamTest, WarmupScheduleIsLinearThenInverseSqrt) {
+  auto p = MakeParam("w", {0.0f});
+  AdamOptions opts;
+  opts.lr = 0.4f;
+  opts.warmup_steps = 4;
+  Adam adam({p}, opts);
+
+  // Inverse-sqrt with linear warmup: lr * step/W while step <= W, then
+  // lr * sqrt(W/step).
+  auto step_to = [&](int64_t target) {
+    while (adam.step_count() < target) adam.Step();
+  };
+  step_to(1);
+  EXPECT_NEAR(adam.CurrentLr(), 0.4f * 1.0f / 4.0f, 1e-6f);
+  step_to(2);
+  EXPECT_NEAR(adam.CurrentLr(), 0.4f * 2.0f / 4.0f, 1e-6f);
+  step_to(4);  // warmup ends exactly at the base rate
+  EXPECT_NEAR(adam.CurrentLr(), 0.4f, 1e-6f);
+  step_to(16);
+  EXPECT_NEAR(adam.CurrentLr(), 0.4f * std::sqrt(4.0 / 16.0), 1e-6f);
+}
+
+TEST(AdamTest, ConstantLrWhenNoWarmup) {
+  auto p = MakeParam("w", {0.0f});
+  AdamOptions opts;
+  opts.lr = 0.25f;
+  opts.warmup_steps = 0;
+  Adam adam({p}, opts);
+  EXPECT_EQ(adam.CurrentLr(), 0.25f);
+  SetGrad(p, {1.0f});
+  adam.Step();
+  EXPECT_EQ(adam.CurrentLr(), 0.25f);
+}
+
+TEST(AdamTest, WeightDecayPullsWeightsTowardZero) {
+  auto p = MakeParam("w", {2.0f, -2.0f});
+  AdamOptions opts;
+  opts.lr = 0.05f;
+  opts.weight_decay = 0.1f;
+  Adam adam({p}, opts);
+
+  // Zero gradient: the only force is decoupled-from-loss weight decay.
+  SetGrad(p, {0.0f, 0.0f});
+  adam.Step();
+  EXPECT_LT(p.var.value().at(0), 2.0f);
+  EXPECT_GT(p.var.value().at(0), 0.0f);
+  EXPECT_GT(p.var.value().at(1), -2.0f);
+  EXPECT_LT(p.var.value().at(1), 0.0f);
+}
+
+TEST(AdamTest, ReportsPreClipGradNormAndClipsUpdate) {
+  auto p = MakeParam("w", {0.0f});
+  AdamOptions opts;
+  opts.lr = 0.01f;
+  opts.clip_norm = 1.0f;
+  Adam adam({p}, opts);
+
+  SetGrad(p, {300.0f});
+  adam.Step();
+  EXPECT_NEAR(adam.last_grad_norm(), 300.0f, 1e-3f);
+  // Post-clip the first step is still at most ~lr in magnitude.
+  EXPECT_LE(std::fabs(p.var.value().at(0)), 0.011f);
+}
+
+TEST(AdamTest, MultipleParamsUpdateIndependently) {
+  auto a = MakeParam("a", {1.0f});
+  auto b = MakeParam("b", {1.0f});
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.clip_norm = 0.0f;
+  Adam adam({a, b}, opts);
+
+  SetGrad(a, {1.0f});  // b gets no gradient this step
+  adam.Step();
+  EXPECT_NEAR(a.var.value().at(0), 0.9f, 1e-4f);
+  EXPECT_EQ(b.var.value().at(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dtt

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/matchers.h"
+
 namespace dtt {
 namespace nn {
 namespace {
@@ -39,16 +41,14 @@ TEST(TensorTest, AddInPlace) {
   Tensor a = Tensor::FromVector({1, 2});
   Tensor b = Tensor::FromVector({10, 20});
   a.AddInPlace(b);
-  EXPECT_EQ(a.at(0), 11.0f);
-  EXPECT_EQ(a.at(1), 22.0f);
+  EXPECT_TENSOR_EQ(a, Tensor::FromVector({11, 22}));
 }
 
 TEST(TensorTest, AxpyInPlace) {
   Tensor a = Tensor::FromVector({1, 1});
   Tensor b = Tensor::FromVector({2, 4});
   a.AxpyInPlace(0.5f, b);
-  EXPECT_EQ(a.at(0), 2.0f);
-  EXPECT_EQ(a.at(1), 3.0f);
+  EXPECT_TENSOR_NEAR(a, Tensor::FromVector({2, 3}), 1e-6f);
 }
 
 TEST(TensorTest, SumAndNorm) {

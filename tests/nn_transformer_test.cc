@@ -3,11 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdio>
 
 #include "nn/checkpoint.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "testing/matchers.h"
+#include "testing/temp_dir.h"
 #include "text/vocab.h"
 
 namespace dtt {
@@ -196,11 +197,13 @@ TEST(OptimizerTest, GradClippingBoundsNorm) {
   EXPECT_GT(adam.last_grad_norm(), 1.0f);  // raw norm was large
 }
 
-TEST(CheckpointTest, SaveLoadRoundTrip) {
+class ModelCheckpointTest : public ::dtt::testing::TempDirTest {};
+
+TEST_F(ModelCheckpointTest, SaveLoadRoundTrip) {
   Rng rng(13);
   TransformerConfig cfg = TinyConfig();
   Transformer model(cfg, &rng);
-  std::string path = ::testing::TempDir() + "/dtt_ckpt_test.bin";
+  const std::string path = TempFile("dtt_ckpt_test.bin");
   auto params = model.Params();
   ASSERT_TRUE(SaveCheckpoint(path, params).ok());
 
@@ -210,19 +213,15 @@ TEST(CheckpointTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(LoadCheckpoint(path, &other_params).ok());
   auto expected = model.Params();
   for (size_t i = 0; i < expected.size(); ++i) {
-    const Tensor& a = expected[i].var.value();
-    const Tensor& b = other_params[i].var.value();
-    ASSERT_TRUE(a.SameShape(b));
-    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a.data()[j], b.data()[j]);
+    EXPECT_TENSOR_EQ(other_params[i].var.value(), expected[i].var.value());
   }
-  std::remove(path.c_str());
 }
 
-TEST(CheckpointTest, LoadRejectsWrongShape) {
+TEST_F(ModelCheckpointTest, LoadRejectsWrongShape) {
   Rng rng(14);
   TransformerConfig cfg = TinyConfig();
   Transformer model(cfg, &rng);
-  std::string path = ::testing::TempDir() + "/dtt_ckpt_bad.bin";
+  const std::string path = TempFile("dtt_ckpt_bad.bin");
   auto params = model.Params();
   ASSERT_TRUE(SaveCheckpoint(path, params).ok());
 
@@ -231,12 +230,6 @@ TEST(CheckpointTest, LoadRejectsWrongShape) {
   Transformer other(cfg, &rng2);
   auto other_params = other.Params();
   EXPECT_FALSE(LoadCheckpoint(path, &other_params).ok());
-  std::remove(path.c_str());
-}
-
-TEST(CheckpointTest, LoadMissingFileFails) {
-  std::vector<NamedParam> params;
-  EXPECT_FALSE(LoadCheckpoint("/nonexistent/ckpt.bin", &params).ok());
 }
 
 TEST(TrainerTest, LossDecreasesOnCopyTask) {

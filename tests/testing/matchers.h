@@ -1,0 +1,46 @@
+#ifndef DTT_TESTS_TESTING_MATCHERS_H_
+#define DTT_TESTS_TESTING_MATCHERS_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace dtt {
+namespace testing {
+
+/// Elementwise |a-b| <= abs_tol with shape checking; on failure the message
+/// names the first offending index and both values.
+::testing::AssertionResult TensorNear(const nn::Tensor& actual,
+                                      const nn::Tensor& expected,
+                                      float abs_tol);
+
+/// Exact bit-level elementwise equality with shape checking; distinguishes
+/// -0.0f from 0.0f and treats identical NaNs as equal.
+::testing::AssertionResult TensorEq(const nn::Tensor& actual,
+                                    const nn::Tensor& expected);
+
+/// Compares `actual` against the golden file `golden_name` under the suite's
+/// testdata directory (DTT_TEST_DATA_DIR). Run the test binary with
+/// DTT_UPDATE_GOLDENS=1 to rewrite goldens instead of failing.
+::testing::AssertionResult MatchesGoldenFile(std::string_view golden_name,
+                                             std::string_view actual);
+
+/// Absolute path of a file under the testdata directory.
+std::string TestDataPath(std::string_view name);
+
+}  // namespace testing
+}  // namespace dtt
+
+#define EXPECT_TENSOR_NEAR(actual, expected, abs_tol) \
+  EXPECT_TRUE(::dtt::testing::TensorNear((actual), (expected), (abs_tol)))
+#define ASSERT_TENSOR_NEAR(actual, expected, abs_tol) \
+  ASSERT_TRUE(::dtt::testing::TensorNear((actual), (expected), (abs_tol)))
+#define EXPECT_TENSOR_EQ(actual, expected) \
+  EXPECT_TRUE(::dtt::testing::TensorEq((actual), (expected)))
+#define ASSERT_TENSOR_EQ(actual, expected) \
+  ASSERT_TRUE(::dtt::testing::TensorEq((actual), (expected)))
+
+#endif  // DTT_TESTS_TESTING_MATCHERS_H_

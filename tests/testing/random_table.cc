@@ -1,0 +1,61 @@
+#include "testing/random_table.h"
+
+#include <unordered_set>
+
+namespace dtt {
+namespace testing {
+
+namespace {
+
+std::string DeriveTarget(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  for (char c : source) {
+    if (c == ' ') {
+      out.push_back('_');
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TablePair RandomTablePair(const std::string& name,
+                          const RandomTableOptions& opts, Rng* rng) {
+  TablePair table;
+  table.name = name;
+  table.source.reserve(opts.num_rows);
+  table.target.reserve(opts.num_rows);
+  std::unordered_set<std::string> seen;
+  while (table.source.size() < opts.num_rows) {
+    std::string src = RandomSourceText(opts.text, rng);
+    // Disambiguate rare collisions so sources stay pairwise distinct.
+    if (!seen.insert(src).second) {
+      src += "#" + std::to_string(table.source.size());
+      if (!seen.insert(src).second) continue;
+    }
+    table.target.push_back(opts.derive_targets ? DeriveTarget(src)
+                                               : RandomSourceText(opts.text, rng));
+    table.source.push_back(std::move(src));
+  }
+  return table;
+}
+
+Dataset RandomDataset(const std::string& name, size_t num_tables,
+                      const RandomTableOptions& opts, Rng* rng) {
+  Dataset ds;
+  ds.name = name;
+  ds.tables.reserve(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) {
+    ds.tables.push_back(
+        RandomTablePair(name + "/t" + std::to_string(i), opts, rng));
+  }
+  return ds;
+}
+
+}  // namespace testing
+}  // namespace dtt

@@ -1,0 +1,37 @@
+#ifndef DTT_TESTS_TESTING_RANDOM_TABLE_H_
+#define DTT_TESTS_TESTING_RANDOM_TABLE_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "transform/sampler.h"
+#include "util/rng.h"
+
+namespace dtt {
+namespace testing {
+
+/// Knobs for the random-table generator. Defaults give small, fast tables
+/// with distinct sources — the shape most suites want.
+struct RandomTableOptions {
+  size_t num_rows = 16;
+  /// Controls the sampled source strings (length, separators, casing).
+  SourceTextOptions text;
+  /// When true, targets are a deterministic function of the source
+  /// (lower-cased, spaces collapsed to '_'), so a learnable mapping exists.
+  /// When false, targets are independent random text.
+  bool derive_targets = true;
+};
+
+/// A random TablePair with `opts.num_rows` rows and pairwise-distinct
+/// sources. Deterministic given the Rng state.
+TablePair RandomTablePair(const std::string& name,
+                          const RandomTableOptions& opts, Rng* rng);
+
+/// A dataset of `num_tables` independent random table pairs.
+Dataset RandomDataset(const std::string& name, size_t num_tables,
+                      const RandomTableOptions& opts, Rng* rng);
+
+}  // namespace testing
+}  // namespace dtt
+
+#endif  // DTT_TESTS_TESTING_RANDOM_TABLE_H_

@@ -1,0 +1,42 @@
+#include "testing/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+
+namespace dtt {
+namespace testing {
+
+namespace fs = std::filesystem;
+
+ScopedTempDir::ScopedTempDir() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t stamp = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const fs::path root = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate =
+        root / ("dtt_test_" + std::to_string(stamp) + "_" +
+                std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec)) {
+      path_ = candidate.string();
+      return;
+    }
+  }
+  throw std::runtime_error("ScopedTempDir: could not create a unique dir");
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort; never throw from a destructor
+}
+
+std::string ScopedTempDir::File(std::string_view name) const {
+  return (fs::path(path_) / name).string();
+}
+
+}  // namespace testing
+}  // namespace dtt

@@ -1,0 +1,45 @@
+#ifndef DTT_TESTS_TESTING_TEMP_DIR_H_
+#define DTT_TESTS_TESTING_TEMP_DIR_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+namespace dtt {
+namespace testing {
+
+/// A uniquely named directory under the system temp root, recursively
+/// deleted on destruction. Tests that write files should place them here so
+/// that suites never collide and never leak artifacts.
+class ScopedTempDir {
+ public:
+  ScopedTempDir();
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Path of `name` inside the directory (the file is not created).
+  std::string File(std::string_view name) const;
+
+ private:
+  std::string path_;
+};
+
+/// Fixture giving every test its own fresh temp directory.
+class TempDirTest : public ::testing::Test {
+ protected:
+  const std::string& tmp_path() const { return dir_.path(); }
+  std::string TempFile(std::string_view name) const { return dir_.File(name); }
+
+ private:
+  ScopedTempDir dir_;
+};
+
+}  // namespace testing
+}  // namespace dtt
+
+#endif  // DTT_TESTS_TESTING_TEMP_DIR_H_

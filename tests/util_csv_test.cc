@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
+#include "testing/matchers.h"
+#include "testing/temp_dir.h"
 
 namespace dtt {
 namespace {
+
+using ::dtt::testing::MatchesGoldenFile;
+using ::dtt::testing::TempDirTest;
 
 TEST(CsvTest, ParsesSimple) {
   auto result = ParseCsv("a,b,c\n1,2,3\n");
@@ -66,19 +70,28 @@ TEST(CsvTest, WriteRoundTrip) {
   EXPECT_EQ(parsed.value().rows, t.rows);
 }
 
-TEST(CsvTest, FileRoundTrip) {
+TEST(CsvTest, WriteMatchesGoldenQuoting) {
+  // Locks in the RFC-4180 quoting rules (embedded delimiter, quote
+  // doubling, embedded newline, empty field).
+  CsvTable t;
+  t.rows = {{"plain", "with,comma", "with\"quote"}, {"a\nb", "", "z"}};
+  EXPECT_TRUE(MatchesGoldenFile("csv_quoting_golden.csv", WriteCsv(t)));
+}
+
+class CsvFileTest : public TempDirTest {};
+
+TEST_F(CsvFileTest, FileRoundTrip) {
   CsvTable t;
   t.rows = {{"x", "y"}, {"1", "2"}};
-  std::string path = ::testing::TempDir() + "/dtt_csv_test.csv";
+  const std::string path = TempFile("round_trip.csv");
   ASSERT_TRUE(WriteCsvFile(path, t).ok());
   auto back = ReadCsvFile(path);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value().rows, t.rows);
-  std::remove(path.c_str());
 }
 
-TEST(CsvTest, ReadMissingFileFails) {
-  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+TEST_F(CsvFileTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile(TempFile("definitely_missing.csv"));
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
