@@ -1,0 +1,115 @@
+#include "bench/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtt {
+namespace bench {
+
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string RenderDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, EscapeString(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, RenderDouble(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonObject::ToJson() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ",";
+    out += EscapeString(fields_[i].first);
+    out += ":";
+    out += fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+BenchJsonReporter::BenchJsonReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+JsonObject& BenchJsonReporter::AddRun(const std::string& name) {
+  runs_.emplace_back();
+  runs_.back().Set("name", name);
+  return runs_.back();
+}
+
+std::string BenchJsonReporter::ToJson() const {
+  std::string out = "{\"bench\":" + EscapeString(bench_name_);
+  out += ",\"meta\":" + meta_.ToJson();
+  out += ",\"runs\":[";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (i) out += ",";
+    out += runs_[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchJsonReporter::Write(const std::string& path) const {
+  std::string target = path;
+  if (target.empty()) {
+    const char* env = std::getenv("DTT_BENCH_JSON");
+    target = (env != nullptr && env[0] != '\0') ? env
+                                                : bench_name_ + ".json";
+  }
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string doc = ToJson() + "\n";
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == doc.size();
+  return ok ? target : "";
+}
+
+}  // namespace bench
+}  // namespace dtt

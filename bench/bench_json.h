@@ -1,0 +1,67 @@
+#ifndef DTT_BENCH_BENCH_JSON_H_
+#define DTT_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtt {
+namespace bench {
+
+/// A flat ordered JSON object of scalar fields.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, bool value);
+
+  /// Rendered form, e.g. {"name":"neural_serial","seconds":1.25}.
+  std::string ToJson() const;
+
+ private:
+  // Values are stored pre-rendered (quoted/escaped for strings).
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects one machine-readable JSON document per bench run so perf deltas
+/// can be tracked across PRs instead of eyeballed from stdout tables:
+///
+///   {"bench": "<name>", "meta": {...}, "runs": [{...}, ...]}
+///
+/// Every run is a flat object of scalars (wall-clock seconds, rows/sec,
+/// batch size, thread count, ...). Write() drops the document next to the
+/// binary as <name>.json, or wherever $DTT_BENCH_JSON points.
+class BenchJsonReporter {
+ public:
+  explicit BenchJsonReporter(std::string bench_name);
+
+  /// Top-level metadata fields ("meta" object).
+  JsonObject& meta() { return meta_; }
+
+  /// Appends a run named `name` and returns it for field population.
+  JsonObject& AddRun(const std::string& name);
+
+  std::string ToJson() const;
+
+  /// Writes the document to `path` (default: $DTT_BENCH_JSON if set, else
+  /// "<bench_name>.json" in the working directory). Returns the path
+  /// written, or an empty string on I/O failure.
+  std::string Write(const std::string& path = "") const;
+
+ private:
+  std::string bench_name_;
+  JsonObject meta_;
+  std::deque<JsonObject> runs_;  // deque: AddRun references stay valid
+};
+
+}  // namespace bench
+}  // namespace dtt
+
+#endif  // DTT_BENCH_BENCH_JSON_H_

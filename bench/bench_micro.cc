@@ -1,8 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // primitives: edit distance, tokenization, serialization, program synthesis,
-// aggregation, join and neural forward/backward steps.
+// aggregation, join and neural forward/backward steps. Results also land in
+// a machine-readable JSON document (bench/bench_json.h) per run.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_json.h"
 #include "core/aggregator.h"
 #include "core/joiner.h"
 #include "models/alignment.h"
@@ -143,5 +147,81 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep);
 
+void BM_BatchTrainStep(benchmark::State& state) {
+  Rng rng(13);
+  nn::Transformer model(BenchConfig(), &rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = 160;
+  nn::TrainerOptions topts;
+  nn::Seq2SeqTrainer trainer(&model, Serializer(sopts), topts);
+  std::vector<TrainingInstance> instances(
+      static_cast<size_t>(state.range(0)));
+  for (auto& inst : instances) {
+    inst.context = {{"abc-def", "DEF"}, {"ghi-jkl", "JKL"}};
+    inst.input_source = "mno-pqr";
+    inst.label = "PQR";
+  }
+  std::vector<const TrainingInstance*> batch;
+  for (const auto& inst : instances) batch.push_back(&inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.BatchLoss(batch, /*backprop=*/true));
+    trainer.optimizer().Step();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchTrainStep)->Arg(4)->Arg(16);
+
+void BM_GenerateBatch(benchmark::State& state) {
+  Rng rng(14);
+  nn::Transformer model(BenchConfig(), &rng);
+  std::vector<std::vector<int>> inputs(
+      static_cast<size_t>(state.range(0)),
+      std::vector<int>(48, 42));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.GenerateBatch(inputs, 12));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateBatch)->Arg(1)->Arg(8);
+
+/// Console output plus collection of every run for the JSON document.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchJsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      json_->AddRun(run.benchmark_name())
+          .Set("iterations", static_cast<int64_t>(run.iterations))
+          .Set("real_time_s",
+               run.iterations > 0
+                   ? run.real_accumulated_time / run.iterations
+                   : 0.0)
+          .Set("cpu_time_s",
+               run.iterations > 0
+                   ? run.cpu_accumulated_time / run.iterations
+                   : 0.0);
+    }
+  }
+
+ private:
+  bench::BenchJsonReporter* json_;
+};
+
 }  // namespace
 }  // namespace dtt
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dtt::bench::BenchJsonReporter json("bench_micro");
+  dtt::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = json.Write();
+  if (!path.empty()) {
+    std::printf("bench JSON written to %s\n", path.c_str());
+  }
+  return 0;
+}

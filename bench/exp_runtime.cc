@@ -3,16 +3,23 @@
 //      DTT 5s -> 17s, CST 3s -> 90s on the authors' hardware);
 //  (b) join wall-clock as the ROW COUNT grows, using the two named
 //      spreadsheet tables "phone-10-short" (7 rows) and "phone-10-long"
-//      (100 rows) (paper: DTT 3->22s, CST 4->366s, AFJ 4->38s, Ditto 1->10s).
+//      (100 rows) (paper: DTT 3->22s, CST 4->366s, AFJ 4->38s, Ditto 1->10s);
+//  (c) row-count growth on synthetic tables (quadratic CST);
+//  (d) neural-path throughput: the serial per-prompt decode vs the batched
+//      multi-threaded pipeline (rows/sec and speedup).
 // Absolute numbers differ (different hardware and model substrate); the
 // claim reproduced is the GROWTH: DTT scales roughly linearly with length
 // and rows, CST polynomially with length and quadratically with rows.
+// Every timing also lands in a machine-readable JSON document (see
+// bench/bench_json.h) so perf deltas are tracked across PRs.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "data/realworld_datasets.h"
 #include "data/synthetic_datasets.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "models/neural_model.h"
 #include "util/stopwatch.h"
 
 namespace dtt {
@@ -27,8 +34,95 @@ TableEval TimeOnTable(JoinMethod* method, const TablePair& table,
   return EvaluateOnSplit(method, split, &rng);
 }
 
+/// Random lowercase-with-separator source strings for the neural throughput
+/// sweep ("ab-cde" style).
+std::string ThroughputSource(Rng* rng) {
+  static constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string s;
+  const int n = static_cast<int>(rng->NextInt(8, 12));
+  for (int i = 0; i < n; ++i) {
+    s.push_back(i == n / 2 ? '-' : kAlpha[rng->NextBounded(26)]);
+  }
+  return s;
+}
+
+/// (d): the same source rows through the same untrained byte-level
+/// transformer, once on the per-prompt serial path (batch 1, 1 thread) and
+/// once batched + sharded. The decodes are bit-exact, so the delta is pure
+/// throughput.
+void NeuralThroughput(bench::BenchJsonReporter* report) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 48;
+  cfg.num_heads = 4;
+  cfg.ff_hidden = 96;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 160;
+  Rng init_rng(kSeed);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 16;
+  auto model = std::make_shared<NeuralSeq2SeqModel>(
+      transformer, Serializer(sopts), nopts);
+
+  Rng data_rng(kSeed + 1);
+  std::vector<ExamplePair> examples;
+  for (int i = 0; i < 6; ++i) {
+    std::string src = ThroughputSource(&data_rng);
+    examples.push_back({src, src.substr(src.find('-') + 1)});
+  }
+  std::vector<std::string> sources;
+  for (int i = 0; i < 24; ++i) sources.push_back(ThroughputSource(&data_rng));
+
+  struct Config {
+    const char* name;
+    int batch_size;
+    int num_threads;
+  };
+  const Config configs[] = {{"serial", 1, 1}, {"batched", 8, 4}};
+  TablePrinter table({"config", "batch", "threads", "s", "rows/s"});
+  double serial_rows_per_sec = 0.0;
+  double batched_rows_per_sec = 0.0;
+  for (const Config& c : configs) {
+    PipelineOptions popts;
+    popts.serializer = sopts;
+    popts.batch_size = c.batch_size;
+    popts.num_threads = c.num_threads;
+    DttPipeline pipeline(model, popts);
+    Rng rng(kSeed + 2);
+    Stopwatch timer;
+    auto rows = pipeline.TransformAll(sources, examples, &rng);
+    const double seconds = timer.Seconds();
+    const double rows_per_sec = static_cast<double>(rows.size()) / seconds;
+    if (c.batch_size == 1) {
+      serial_rows_per_sec = rows_per_sec;
+    } else {
+      batched_rows_per_sec = rows_per_sec;
+    }
+    table.AddRow({c.name, std::to_string(c.batch_size),
+                  std::to_string(c.num_threads), TablePrinter::Num(seconds, 3),
+                  TablePrinter::Num(rows_per_sec, 2)});
+    report->AddRun(std::string("neural_") + c.name)
+        .Set("seconds", seconds)
+        .Set("rows", static_cast<int64_t>(rows.size()))
+        .Set("rows_per_sec", rows_per_sec)
+        .Set("batch_size", c.batch_size)
+        .Set("num_threads", c.num_threads);
+  }
+  table.Print();
+  const double speedup =
+      serial_rows_per_sec > 0.0 ? batched_rows_per_sec / serial_rows_per_sec
+                                : 0.0;
+  std::printf("batched+threaded speedup over serial: %.2fx\n", speedup);
+  report->AddRun("neural_speedup").Set("speedup", speedup);
+}
+
 int Main() {
   std::printf("DTT reproduction — §5.5 runtime scalability\n");
+  bench::BenchJsonReporter report("exp_runtime");
+  report.meta().Set("seed", static_cast<int64_t>(kSeed));
   auto dtt = MakeDttMethod();
   CstJoinMethod cst;
   AfjJoinMethod afj;
@@ -50,6 +144,10 @@ int Main() {
       for (JoinMethod* method : methods) {
         TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
         row.push_back(TablePrinter::Num(e.seconds, 3));
+        report.AddRun("len_sweep")
+            .Set("len", len)
+            .Set("method", method->name())
+            .Set("seconds", e.seconds);
       }
       table.AddRow(std::move(row));
       std::fprintf(stderr, "[runtime] len=%d done\n", len);
@@ -69,6 +167,11 @@ int Main() {
       for (JoinMethod* method : methods) {
         TableEval e = TimeOnTable(method, *t, kSeed);
         row.push_back(TablePrinter::Num(e.seconds, 3));
+        report.AddRun("spreadsheet")
+            .Set("table", name)
+            .Set("rows", static_cast<int64_t>(t->num_rows()))
+            .Set("method", method->name())
+            .Set("seconds", e.seconds);
       }
       table.AddRow(std::move(row));
     }
@@ -90,15 +193,27 @@ int Main() {
       for (JoinMethod* method : methods) {
         TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
         row.push_back(TablePrinter::Num(e.seconds, 3));
+        report.AddRun("row_sweep")
+            .Set("rows", rows)
+            .Set("method", method->name())
+            .Set("seconds", e.seconds);
       }
       table.AddRow(std::move(row));
       std::fprintf(stderr, "[runtime] rows=%d done\n", rows);
     }
     table.Print();
   }
+
+  PrintBanner("(d) neural path throughput: serial vs batched+threaded");
+  NeuralThroughput(&report);
+
   std::printf(
       "\nShape check vs §5.5: the CST column grows much faster than the DTT "
       "column with both length and rows; AFJ/Ditto sit between.\n");
+  const std::string json_path = report.Write();
+  if (!json_path.empty()) {
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -1,5 +1,9 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
 namespace dtt {
 
 DttPipeline::DttPipeline(std::vector<std::shared_ptr<TextToTextModel>> models,
@@ -14,6 +18,16 @@ DttPipeline::DttPipeline(std::shared_ptr<TextToTextModel> model,
                       std::move(model)},
                   options) {}
 
+namespace {
+
+// Errors (e.g. over-length prompts) count as abstentions; the aggregator is
+// the framework's error sink.
+std::string OutputOrAbstain(const Result<std::string>& result) {
+  return result.ok() ? result.value() : std::string();
+}
+
+}  // namespace
+
 RowPrediction DttPipeline::TransformRow(
     const std::string& source, const std::vector<ExamplePair>& examples,
     Rng* rng) const {
@@ -22,17 +36,16 @@ RowPrediction DttPipeline::TransformRow(
   std::vector<std::vector<std::string>> per_model;
   per_model.reserve(models_.size());
   for (const auto& model : models_) {
+    std::vector<Prompt> prompts = decomposer_.MakePrompts(source, examples,
+                                                          rng);
     std::vector<std::string> trials;
-    for (auto& prompt : decomposer_.MakePrompts(source, examples, rng)) {
-      auto result = model->Transform(prompt);
-      // Errors (e.g. over-length prompts) count as abstentions; the
-      // aggregator is the framework's error sink.
-      trials.push_back(result.ok() ? result.value() : std::string());
+    trials.reserve(prompts.size());
+    for (auto& result : model->TransformBatch(prompts)) {
+      trials.push_back(OutputOrAbstain(result));
     }
     per_model.push_back(std::move(trials));
   }
-  Aggregator aggregator;
-  AggregateResult agg = aggregator.AggregateMulti(per_model);
+  AggregateResult agg = aggregator_.AggregateMulti(per_model);
   row.prediction = agg.prediction;
   row.confidence = agg.confidence;
   row.support = agg.support;
@@ -42,10 +55,106 @@ RowPrediction DttPipeline::TransformRow(
 std::vector<RowPrediction> DttPipeline::TransformAll(
     const std::vector<std::string>& sources,
     const std::vector<ExamplePair>& examples, Rng* rng) const {
+  const size_t num_rows = sources.size();
+  const size_t num_models = models_.size();
+
+  // Phase 1: materialize every (row, model, trial) prompt. One draw from the
+  // caller's stream seeds a per-call base generator — so repeated calls with
+  // the same Rng object stay independent — and row r's contexts come from
+  // base.Fork(r) (model m from a sub-fork), a pure function of that draw.
+  // The prompt set is therefore fixed before any dispatch and independent of
+  // batch size, thread count, and scheduling.
+  Rng base_rng(rng->Next());
+  std::vector<std::vector<std::vector<Prompt>>> prompts(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    Rng row_rng = base_rng.Fork(static_cast<uint64_t>(r));
+    prompts[r].resize(num_models);
+    for (size_t m = 0; m < num_models; ++m) {
+      Rng model_rng = row_rng.Fork(static_cast<uint64_t>(m));
+      prompts[r][m] = decomposer_.MakePrompts(sources[r], examples,
+                                              &model_rng);
+    }
+  }
+
+  // Phase 2: flatten into per-model batches of at most batch_size prompts
+  // and dispatch. Each batch writes to disjoint output slots, so parallel
+  // execution is deterministic.
+  struct SlotRef {
+    size_t row;
+    size_t trial;
+  };
+  struct BatchJob {
+    size_t model;
+    std::vector<SlotRef> slots;
+  };
+  std::vector<std::vector<std::vector<std::string>>> outputs(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    outputs[r].resize(num_models);
+    for (size_t m = 0; m < num_models; ++m) {
+      outputs[r][m].resize(prompts[r][m].size());
+    }
+  }
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, options_.batch_size));
+  std::vector<BatchJob> jobs;
+  for (size_t m = 0; m < num_models; ++m) {
+    BatchJob job{m, {}};
+    for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t t = 0; t < prompts[r][m].size(); ++t) {
+        job.slots.push_back({r, t});
+        if (job.slots.size() == batch_size) {
+          jobs.push_back(std::move(job));
+          job = BatchJob{m, {}};
+        }
+      }
+    }
+    if (!job.slots.empty()) jobs.push_back(std::move(job));
+  }
+
+  auto run_job = [&](size_t ji) {
+    const BatchJob& job = jobs[ji];
+    TextToTextModel* model = models_[job.model].get();
+    if (batch_size == 1) {
+      // The original per-prompt path, bypassing batched decoding entirely.
+      const SlotRef& slot = job.slots[0];
+      outputs[slot.row][job.model][slot.trial] =
+          OutputOrAbstain(model->Transform(prompts[slot.row][job.model]
+                                                  [slot.trial]));
+      return;
+    }
+    std::vector<Prompt> batch;
+    batch.reserve(job.slots.size());
+    for (const SlotRef& slot : job.slots) {
+      batch.push_back(prompts[slot.row][job.model][slot.trial]);
+    }
+    std::vector<Result<std::string>> results = model->TransformBatch(batch);
+    for (size_t i = 0; i < job.slots.size(); ++i) {
+      const SlotRef& slot = job.slots[i];
+      outputs[slot.row][job.model][slot.trial] = OutputOrAbstain(results[i]);
+    }
+  };
+
+  bool parallel_ok = options_.num_threads > 1;
+  for (const auto& model : models_) {
+    parallel_ok = parallel_ok && model->thread_safe();
+  }
+  if (parallel_ok) {
+    ThreadPool::ParallelFor(options_.num_threads, jobs.size(), run_job);
+  } else {
+    for (size_t ji = 0; ji < jobs.size(); ++ji) run_job(ji);
+  }
+
+  // Phase 3: pool every model's trials per row through the aggregator.
   std::vector<RowPrediction> out;
-  out.reserve(sources.size());
-  for (const auto& source : sources) {
-    out.push_back(TransformRow(source, examples, rng));
+  out.reserve(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    RowPrediction row;
+    row.source = sources[r];
+    AggregateResult agg = aggregator_.AggregateMulti(outputs[r]);
+    row.prediction = agg.prediction;
+    row.confidence = agg.confidence;
+    row.support = agg.support;
+    out.push_back(std::move(row));
   }
   return out;
 }

@@ -18,10 +18,18 @@ struct RowPrediction {
   int support = 0;
 };
 
-/// End-to-end DTT options: decomposition (k, n) per §4.1/§5.3.
+/// End-to-end DTT options: decomposition (k, n) per §4.1/§5.3 plus the
+/// inference batching/sharding knobs.
 struct PipelineOptions {
   DecomposerOptions decomposer;
   SerializerOptions serializer;
+  /// Prompts per TransformBatch dispatch in TransformAll. 1 forces the
+  /// per-prompt Transform path (the original serial behaviour).
+  int batch_size = 16;
+  /// Worker threads TransformAll shards prompt batches across. Only honored
+  /// when every attached model reports thread_safe(); predictions are
+  /// identical for any thread count.
+  int num_threads = 1;
 };
 
 /// The DTT framework of Figure 2: decomposer + serializer + model(s) +
@@ -37,12 +45,18 @@ class DttPipeline {
   DttPipeline(std::shared_ptr<TextToTextModel> model,
               PipelineOptions options = {});
 
-  /// Transforms one source row given the example set.
+  /// Transforms one source row given the example set, drawing trial contexts
+  /// from `rng` directly (sequentially deterministic for a given seed).
   RowPrediction TransformRow(const std::string& source,
                              const std::vector<ExamplePair>& examples,
                              Rng* rng) const;
 
-  /// Transforms every source row (the R of Eq. 1).
+  /// Transforms every source row (the R of Eq. 1). Materializes every
+  /// (row, model, trial) prompt up front — one draw from `rng` seeds
+  /// per-row streams, so predictions do not depend on batch size or thread
+  /// count (and repeated calls with the same rng stay independent) — then
+  /// dispatches the prompts through TransformBatch in options().batch_size
+  /// groups, sharded across options().num_threads workers.
   std::vector<RowPrediction> TransformAll(
       const std::vector<std::string>& sources,
       const std::vector<ExamplePair>& examples, Rng* rng) const;

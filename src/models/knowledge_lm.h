@@ -62,6 +62,10 @@ class KnowledgeLM : public TextToTextModel {
   std::string name() const override { return "gpt3-sim"; }
   Result<std::string> Transform(const Prompt& prompt) override;
 
+  /// Transform derives its RNG purely from (seed, prompt) and keeps no
+  /// mutable state, so concurrent calls are safe and deterministic.
+  bool thread_safe() const override { return true; }
+
   /// Fraction of word-like tokens across a prompt's cells in [0,1];
   /// exposed for tests.
   static double Naturalness(const Prompt& prompt,

@@ -1,3 +1,15 @@
 #include "models/model.h"
 
-// Interface-only translation unit; anchors the vtable-less header.
+namespace dtt {
+
+std::vector<Result<std::string>> TextToTextModel::TransformBatch(
+    const std::vector<Prompt>& prompts) {
+  std::vector<Result<std::string>> results;
+  results.reserve(prompts.size());
+  for (const auto& prompt : prompts) {
+    results.push_back(Transform(prompt));
+  }
+  return results;
+}
+
+}  // namespace dtt

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "text/serializer.h"
 #include "util/status.h"
@@ -27,6 +28,18 @@ class TextToTextModel {
 
   /// Predicts the target for `prompt.source` given `prompt.examples`.
   virtual Result<std::string> Transform(const Prompt& prompt) = 0;
+
+  /// Transforms a batch of prompts, returning one result per prompt in
+  /// order. The default loops Transform, so every backend keeps working;
+  /// backends with a genuinely batched substrate (the neural transformer)
+  /// override it to share work across the batch.
+  virtual std::vector<Result<std::string>> TransformBatch(
+      const std::vector<Prompt>& prompts);
+
+  /// True if concurrent Transform/TransformBatch calls on this instance are
+  /// safe (the implementation keeps no mutable per-call state). The pipeline
+  /// only shards batches across threads when every attached model says so.
+  virtual bool thread_safe() const { return false; }
 };
 
 }  // namespace dtt

@@ -26,4 +26,40 @@ Result<std::string> NeuralSeq2SeqModel::Transform(const Prompt& prompt) {
   return tokenizer_.Decode(out);
 }
 
+std::vector<Result<std::string>> NeuralSeq2SeqModel::TransformBatch(
+    const std::vector<Prompt>& prompts) {
+  // Beam search has no batched path, and a batch of one gains nothing over
+  // the single-sequence decode.
+  if (options_.beam_size > 1 || prompts.size() <= 1) {
+    return TextToTextModel::TransformBatch(prompts);
+  }
+  std::vector<Result<std::string>> results(
+      prompts.size(), Result<std::string>(std::string()));
+  std::vector<std::vector<int>> batch_ids;
+  std::vector<size_t> batch_slots;
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    if (prompts[i].examples.empty()) {
+      results[i] = Status::InvalidArgument(
+          "NeuralSeq2SeqModel requires at least one context example");
+      continue;
+    }
+    std::vector<int> input_ids = serializer_.EncodePrompt(prompts[i]);
+    if (static_cast<int>(input_ids.size()) > model_->config().max_len) {
+      results[i] = Status::OutOfRange(
+          "serialized prompt exceeds the model's input length limit");
+      continue;
+    }
+    batch_ids.push_back(std::move(input_ids));
+    batch_slots.push_back(i);
+  }
+  if (!batch_ids.empty()) {
+    std::vector<std::vector<int>> outs =
+        model_->GenerateBatch(batch_ids, options_.max_output_tokens);
+    for (size_t j = 0; j < batch_slots.size(); ++j) {
+      results[batch_slots[j]] = tokenizer_.Decode(outs[j]);
+    }
+  }
+  return results;
+}
+
 }  // namespace dtt

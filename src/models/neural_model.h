@@ -2,6 +2,7 @@
 #define DTT_MODELS_NEURAL_MODEL_H_
 
 #include <memory>
+#include <vector>
 
 #include "models/model.h"
 #include "nn/transformer.h"
@@ -29,6 +30,18 @@ class NeuralSeq2SeqModel : public TextToTextModel {
 
   std::string name() const override { return "dtt-neural"; }
   Result<std::string> Transform(const Prompt& prompt) override;
+
+  /// Batched greedy decode: valid prompts run through one lockstep
+  /// Transformer::GenerateBatch call (bit-exact with per-prompt Transform);
+  /// invalid prompts keep their per-prompt error. Beam search (beam_size > 1)
+  /// falls back to the per-prompt loop.
+  std::vector<Result<std::string>> TransformBatch(
+      const std::vector<Prompt>& prompts) override;
+
+  /// Inference only builds fresh graph nodes over the shared (read-only)
+  /// parameters, so concurrent Transform calls are safe as long as nothing
+  /// trains this model at the same time.
+  bool thread_safe() const override { return true; }
 
   nn::Transformer* model() { return model_.get(); }
 

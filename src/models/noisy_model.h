@@ -27,6 +27,10 @@ class NoisyModel : public TextToTextModel {
   std::string name() const override;
   Result<std::string> Transform(const Prompt& prompt) override;
 
+  /// The noise stream is a pure function of (seed, prompt) — base_rng_ is
+  /// only forked, never advanced — so this is as thread-safe as `inner`.
+  bool thread_safe() const override { return inner_->thread_safe(); }
+
  private:
   std::shared_ptr<TextToTextModel> inner_;
   double failure_prob_;

@@ -49,6 +49,10 @@ class PatternInductionModel : public TextToTextModel {
   std::string name() const override { return "dtt"; }
   Result<std::string> Transform(const Prompt& prompt) override;
 
+  /// Transform derives its RNG purely from (seed, prompt) and keeps no
+  /// mutable state, so concurrent calls are safe and deterministic.
+  bool thread_safe() const override { return true; }
+
   const PatternInductionOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,61 @@
+#ifndef DTT_NN_GEMM_H_
+#define DTT_NN_GEMM_H_
+
+#include <cstddef>
+
+namespace dtt {
+namespace nn {
+namespace internal {
+
+/// C += A * B for row-major [m,k] x [k,n]; ikj ordering for locality.
+/// Shared by the autograd MatMul op and the raw inference engine so both
+/// paths accumulate in the same order (bit-exact results).
+inline void GemmAcc(const float* a, const float* b, float* c, int m, int k,
+                    int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C += A^T * B for A [k,m], B [k,n] -> C [m,n].
+inline void GemmAtAcc(const float* a, const float* b, float* c, int k, int m,
+                      int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<size_t>(p) * m;
+    const float* brow = b + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C += A * B^T for A [m,k], B [n,k] -> C [m,n].
+inline void GemmBtAcc(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float dot = 0.0f;
+      for (int p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      crow[j] += dot;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_GEMM_H_

@@ -1,0 +1,260 @@
+// The graph-free batched inference engine behind Transformer::GenerateBatch.
+//
+// Greedy decoding needs no gradients, so this path skips autograd entirely
+// and decodes incrementally: each step feeds only the newly generated token
+// through the decoder, attending over per-layer key/value caches (self-
+// attention) and the once-projected encoder memory (cross-attention). The
+// arithmetic mirrors the autograd ops operation-for-operation — same GEMM
+// kernels (nn/gemm.h), same accumulation order — so the generated tokens are
+// bit-exact with the per-sequence GreedyDecode (enforced by nn_batch_test).
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/transformer.h"
+#include "text/vocab.h"
+
+namespace dtt {
+namespace nn {
+
+namespace {
+
+// out[rows, out_dim] = x[rows, in_dim] @ W + b, matching Linear::Forward
+// (full GEMM first, bias added after).
+void AffineRows(const Tensor& x, const Linear& lin, Tensor* out) {
+  const int rows = x.rows();
+  const int in_dim = x.cols();
+  const Tensor& w = lin.weight_value();
+  const Tensor& b = lin.bias_value();
+  const int out_dim = w.cols();
+  assert(w.rows() == in_dim);
+  *out = Tensor({rows, out_dim});
+  internal::GemmAcc(x.data(), w.data(), out->data(), rows, in_dim, out_dim);
+  for (int i = 0; i < rows; ++i) {
+    float* row = out->data() + static_cast<size_t>(i) * out_dim;
+    for (int j = 0; j < out_dim; ++j) row[j] += b.at(j);
+  }
+}
+
+// Row-wise layer norm matching LayerNormOp.
+void LayerNormRows(const Tensor& x, const LayerNorm& ln, Tensor* out) {
+  const int rows = x.rows();
+  const int d = x.cols();
+  const Tensor& gamma = ln.gamma_value();
+  const Tensor& beta = ln.beta_value();
+  constexpr float kEps = 1e-5f;
+  *out = Tensor({rows, d});
+  for (int i = 0; i < rows; ++i) {
+    const float* row = x.data() + static_cast<size_t>(i) * d;
+    float* orow = out->data() + static_cast<size_t>(i) * d;
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) mean += row[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      float c = row[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    float istd = 1.0f / std::sqrt(var + kEps);
+    for (int j = 0; j < d; ++j) {
+      orow[j] = gamma.at(j) * ((row[j] - mean) * istd) + beta.at(j);
+    }
+  }
+}
+
+// One decoder layer's incremental state: self-attention K/V per generated
+// position, cross-attention K/V of the encoder memory (projected once).
+struct LayerState {
+  Tensor self_k;   // [B, cap, D]
+  Tensor self_v;   // [B, cap, D]
+  Tensor cross_k;  // [B*Tm, D]
+  Tensor cross_v;  // [B*Tm, D]
+};
+
+// Multi-head attention of one new query row per sequence over cached keys
+// and values. `keys`/`values` rows for sequence b start at b*stride; the
+// attended positions are kv_begin..kv_begin+kv_len(b)-1. Writes the merged
+// head outputs (pre-W_o) into ctx [B, D].
+void AttendRows(const Tensor& q, const MultiHeadAttention& attn,
+                const float* keys, const float* values, size_t stride,
+                const std::vector<int>& kv_lens, Tensor* ctx,
+                std::vector<float>* scores_buf) {
+  const int batch = q.rows();
+  const int d = q.cols();
+  const int num_heads = attn.num_heads();
+  const int dh = attn.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  *ctx = Tensor({batch, d});
+  for (int b = 0; b < batch; ++b) {
+    const int kv_len = kv_lens[static_cast<size_t>(b)];
+    const float* qrow = q.data() + static_cast<size_t>(b) * d;
+    const float* krows = keys + static_cast<size_t>(b) * stride;
+    const float* vrows = values + static_cast<size_t>(b) * stride;
+    float* crow = ctx->data() + static_cast<size_t>(b) * d;
+    scores_buf->resize(static_cast<size_t>(kv_len));
+    for (int h = 0; h < num_heads; ++h) {
+      const int off = h * dh;
+      // Scaled dot-product scores over the cached positions, then a stable
+      // softmax — the same max/exp/normalize order as the Softmax op.
+      float* scores = scores_buf->data();
+      for (int j = 0; j < kv_len; ++j) {
+        const float* krow = krows + static_cast<size_t>(j) * d + off;
+        float dot = 0.0f;
+        for (int p = 0; p < dh; ++p) dot += qrow[off + p] * krow[p];
+        scores[j] = dot * scale;
+      }
+      float mx = scores[0];
+      for (int j = 1; j < kv_len; ++j) mx = std::max(mx, scores[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < kv_len; ++j) {
+        scores[j] = std::exp(scores[j] - mx);
+        sum += scores[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < kv_len; ++j) scores[j] *= inv;
+      // Weighted value sum; skip exact zeros like GemmAcc does.
+      for (int j = 0; j < kv_len; ++j) {
+        const float a = scores[j];
+        if (a == 0.0f) continue;
+        const float* vrow = vrows + static_cast<size_t>(j) * d + off;
+        for (int p = 0; p < dh; ++p) crow[off + p] += a * vrow[p];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> Transformer::GenerateBatch(
+    const std::vector<std::vector<int>>& input_ids, int max_steps) const {
+  const int batch = static_cast<int>(input_ids.size());
+  if (batch == 0 || max_steps <= 0) {
+    return std::vector<std::vector<int>>(input_ids.size());
+  }
+  // The encoder runs once; the (batched, length-masked) autograd path is
+  // fine for a single pass — only its value tensor is kept.
+  PaddedBatch enc = PaddedBatch::Pack(input_ids);
+  Tensor memory = EncodeBatch(enc).value();  // [B*Tm, D]
+  const int mem_len = enc.padded_len;
+  const int d = cfg_.dim;
+
+  // Decoder positions are bounded by both the step budget and the model's
+  // hard length limit (<sos> occupies position 0).
+  const int cap = std::min(max_steps + 1, cfg_.max_len);
+  std::vector<LayerState> layers(decoder_.size());
+  for (size_t l = 0; l < decoder_.size(); ++l) {
+    layers[l].self_k = Tensor({batch, cap, d});
+    layers[l].self_v = Tensor({batch, cap, d});
+    const MultiHeadAttention& cross = decoder_[l]->cross_attn();
+    AffineRows(memory, cross.wk(), &layers[l].cross_k);
+    AffineRows(memory, cross.wv(), &layers[l].cross_v);
+  }
+
+  std::vector<std::vector<int>> generated(static_cast<size_t>(batch));
+  std::vector<bool> done(static_cast<size_t>(batch), false);
+  std::vector<int> tokens(static_cast<size_t>(batch), Vocab::kSos);
+  std::vector<int> self_lens(static_cast<size_t>(batch), 0);
+  std::vector<float> scores_buf;
+  Tensor x({batch, d});
+  Tensor n, q, k, v, ctx, attn_out, h1, h2, ff_mid, ff_out, logits;
+
+  const Tensor& embed = embedding_.weight_value();
+  for (int step = 0; step < max_steps; ++step) {
+    // Embed the current token (position `step`) of every sequence.
+    for (int b = 0; b < batch; ++b) {
+      const float* erow =
+          embed.data() +
+          static_cast<size_t>(tokens[static_cast<size_t>(b)]) * d;
+      float* xrow = x.data() + static_cast<size_t>(b) * d;
+      for (int j = 0; j < d; ++j) xrow[j] = erow[j] + positions_.at(step, j);
+    }
+    for (int b = 0; b < batch; ++b) self_lens[static_cast<size_t>(b)] = step + 1;
+
+    for (size_t l = 0; l < decoder_.size(); ++l) {
+      const DecoderLayer& layer = *decoder_[l];
+      LayerState& state = layers[l];
+      // Self-attention over the cached prefix (positions 0..step).
+      LayerNormRows(x, layer.ln1(), &n);
+      AffineRows(n, layer.self_attn().wq(), &q);
+      AffineRows(n, layer.self_attn().wk(), &k);
+      AffineRows(n, layer.self_attn().wv(), &v);
+      const size_t stride = static_cast<size_t>(cap) * d;
+      for (int b = 0; b < batch; ++b) {
+        float* kdst = state.self_k.data() + b * stride +
+                      static_cast<size_t>(step) * d;
+        float* vdst = state.self_v.data() + b * stride +
+                      static_cast<size_t>(step) * d;
+        const float* krow = k.data() + static_cast<size_t>(b) * d;
+        const float* vrow = v.data() + static_cast<size_t>(b) * d;
+        for (int j = 0; j < d; ++j) {
+          kdst[j] = krow[j];
+          vdst[j] = vrow[j];
+        }
+      }
+      AttendRows(q, layer.self_attn(), state.self_k.data(),
+                 state.self_v.data(), stride, self_lens, &ctx, &scores_buf);
+      AffineRows(ctx, layer.self_attn().wo(), &attn_out);
+      h1 = x;
+      h1.AddInPlace(attn_out);
+      // Cross-attention over the valid encoder memory rows.
+      LayerNormRows(h1, layer.ln2(), &n);
+      AffineRows(n, layer.cross_attn().wq(), &q);
+      AttendRows(q, layer.cross_attn(), state.cross_k.data(),
+                 state.cross_v.data(), static_cast<size_t>(mem_len) * d,
+                 enc.lengths, &ctx, &scores_buf);
+      AffineRows(ctx, layer.cross_attn().wo(), &attn_out);
+      h2 = h1;
+      h2.AddInPlace(attn_out);
+      // Position-wise feed-forward.
+      LayerNormRows(h2, layer.ln3(), &n);
+      AffineRows(n, layer.ff().in_linear(), &ff_mid);
+      for (size_t i = 0; i < ff_mid.size(); ++i) {
+        if (ff_mid.data()[i] < 0.0f) ff_mid.data()[i] = 0.0f;
+      }
+      AffineRows(ff_mid, layer.ff().out_linear(), &ff_out);
+      x = h2;
+      x.AddInPlace(ff_out);
+    }
+
+    LayerNormRows(x, final_ln_, &n);
+    AffineRows(n, lm_head_, &logits);  // [B, V]
+    bool all_done = true;
+    for (int b = 0; b < batch; ++b) {
+      if (done[static_cast<size_t>(b)]) {
+        tokens[static_cast<size_t>(b)] = Vocab::kPad;
+        continue;
+      }
+      const float* row = logits.data() + static_cast<size_t>(b) * logits.cols();
+      int best = 0;
+      float best_v = row[0];
+      for (int j = 1; j < logits.cols(); ++j) {
+        if (row[j] > best_v) {
+          best_v = row[j];
+          best = j;
+        }
+      }
+      if (best == Vocab::kEos) {
+        done[static_cast<size_t>(b)] = true;
+        tokens[static_cast<size_t>(b)] = Vocab::kPad;
+        continue;
+      }
+      generated[static_cast<size_t>(b)].push_back(best);
+      tokens[static_cast<size_t>(b)] = best;
+      // The serial decode stops once the prefix (<sos> + generated) fills
+      // max_len; position step+1 would be out of range.
+      if (step + 2 >= cfg_.max_len) {
+        done[static_cast<size_t>(b)] = true;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+  }
+  return generated;
+}
+
+}  // namespace nn
+}  // namespace dtt

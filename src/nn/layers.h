@@ -36,6 +36,10 @@ class Linear : public Module {
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
 
+  /// Raw parameter views for the graph-free inference engine.
+  const Tensor& weight_value() const { return weight_.value(); }
+  const Tensor& bias_value() const { return bias_.value(); }
+
  private:
   Var weight_;  // [in,out]
   Var bias_;    // [out]
@@ -52,6 +56,7 @@ class Embedding : public Module {
                      std::vector<NamedParam>* out) override;
 
   int dim() const { return dim_; }
+  const Tensor& weight_value() const { return weight_.value(); }
 
  private:
   Var weight_;
@@ -68,6 +73,9 @@ class LayerNorm : public Module {
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
 
+  const Tensor& gamma_value() const { return gamma_.value(); }
+  const Tensor& beta_value() const { return beta_.value(); }
+
  private:
   Var gamma_;
   Var beta_;
@@ -82,6 +90,9 @@ class FeedForward : public Module {
 
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
+
+  const Linear& in_linear() const { return in_; }
+  const Linear& out_linear() const { return out_; }
 
  private:
   Linear in_;

@@ -3,54 +3,14 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/gemm.h"
+
 namespace dtt {
 namespace nn {
 
-namespace {
-
-// C += A * B for row-major [m,k] x [k,n]; ikj ordering for locality.
-void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C += A^T * B for A [k,m], B [k,n] -> C [m,n].
-void GemmAtAcc(const float* a, const float* b, float* c, int k, int m, int n) {
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a + static_cast<size_t>(p) * m;
-    const float* brow = b + static_cast<size_t>(p) * n;
-    for (int i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C += A * B^T for A [m,k], B [n,k] -> C [m,n].
-void GemmBtAcc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<size_t>(j) * k;
-      float dot = 0.0f;
-      for (int p = 0; p < k; ++p) dot += arow[p] * brow[p];
-      crow[j] += dot;
-    }
-  }
-}
-
-}  // namespace
+using internal::GemmAcc;
+using internal::GemmAtAcc;
+using internal::GemmBtAcc;
 
 Var MatMul(const Var& a, const Var& b) {
   assert(a.value().rank() == 2 && b.value().rank() == 2);
@@ -399,6 +359,59 @@ Var ConcatCols(const std::vector<Var>& parts) {
         p.node()->AccumulateGrad(dp);
       }
       off2 += d;
+    }
+  });
+}
+
+Var SliceRows(const Var& x, int begin, int len) {
+  assert(x.value().rank() == 2);
+  const int t = x.value().rows();
+  const int d = x.value().cols();
+  assert(begin >= 0 && begin + len <= t);
+  Tensor out({len, d});
+  const float* src = x.value().data() + static_cast<size_t>(begin) * d;
+  float* dst = out.data();
+  for (size_t i = 0; i < static_cast<size_t>(len) * d; ++i) dst[i] = src[i];
+  Var xv = x;
+  return MakeOpNode(std::move(out), {x}, [xv, begin, len, t, d](Node* self) {
+    if (!xv.node()->requires_grad) return;
+    Tensor dx({t, d});
+    float* dst2 = dx.data() + static_cast<size_t>(begin) * d;
+    const float* src2 = self->grad.data();
+    for (size_t i = 0; i < static_cast<size_t>(len) * d; ++i) dst2[i] = src2[i];
+    xv.node()->AccumulateGrad(dx);
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  assert(!parts.empty());
+  const int d = parts[0].value().cols();
+  int total = 0;
+  for (const auto& p : parts) {
+    assert(p.value().cols() == d);
+    total += p.value().rows();
+  }
+  Tensor out({total, d});
+  size_t off = 0;
+  for (const auto& p : parts) {
+    const size_t n = p.value().size();
+    const float* src = p.value().data();
+    float* dst = out.data() + off;
+    for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+    off += n;
+  }
+  std::vector<Var> saved = parts;
+  return MakeOpNode(std::move(out), parts, [saved](Node* self) {
+    size_t off2 = 0;
+    for (const auto& p : saved) {
+      const size_t n = p.value().size();
+      if (p.node()->requires_grad) {
+        Tensor dp(p.value().shape());
+        const float* src = self->grad.data() + off2;
+        for (size_t i = 0; i < n; ++i) dp.data()[i] = src[i];
+        p.node()->AccumulateGrad(dp);
+      }
+      off2 += n;
     }
   });
 }

@@ -56,6 +56,16 @@ void Tensor::AxpyInPlace(float alpha, const Tensor& b) {
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * b.data_[i];
 }
 
+Tensor Tensor::BatchSlice(int b) const {
+  assert(rank() == 3);
+  assert(b >= 0 && b < shape_[0]);
+  Tensor out({shape_[1], shape_[2]});
+  const size_t block = static_cast<size_t>(shape_[1]) * shape_[2];
+  const float* src = data_.data() + static_cast<size_t>(b) * block;
+  for (size_t i = 0; i < block; ++i) out.data_[i] = src[i];
+  return out;
+}
+
 float Tensor::Sum() const {
   float s = 0.0f;
   for (float v : data_) s += v;

@@ -15,25 +15,78 @@ Seq2SeqTrainer::Seq2SeqTrainer(Transformer* model, Serializer serializer,
       options_(std::move(options)),
       optimizer_(model->Params(), options_.adam) {}
 
-float Seq2SeqTrainer::InstanceLoss(const TrainingInstance& inst,
-                                   bool backprop) {
+Seq2SeqTrainer::EncodedInstance Seq2SeqTrainer::EncodeInstance(
+    const TrainingInstance& inst) const {
+  EncodedInstance enc;
   Prompt prompt{inst.context, inst.input_source};
-  std::vector<int> input_ids = serializer_.EncodePrompt(prompt);
-  if (static_cast<int>(input_ids.size()) > options_.max_input_tokens) {
-    return -1.0f;  // skipped
+  enc.input_ids = serializer_.EncodePrompt(prompt);
+  if (static_cast<int>(enc.input_ids.size()) > options_.max_input_tokens) {
+    return enc;  // skipped
   }
   // Decoder input: <sos> t1..tn ; targets: t1..tn <eos>.
   std::vector<int> label = serializer_.EncodeLabel(inst.label);
-  if (static_cast<int>(label.size()) > options_.max_label_tokens) return -1.0f;
-  std::vector<int> dec_in(label.begin(), label.end() - 1);   // keep <sos>
-  std::vector<int> targets(label.begin() + 1, label.end());  // shift left
+  if (static_cast<int>(label.size()) > options_.max_label_tokens) return enc;
+  enc.decoder_ids.assign(label.begin(), label.end() - 1);   // keep <sos>
+  enc.targets.assign(label.begin() + 1, label.end());       // shift left
+  enc.valid = true;
+  return enc;
+}
 
-  Var memory = model_->Encode(input_ids);
-  Var logits = model_->DecodeLogits(memory, dec_in);
-  Var loss = CrossEntropyLoss(logits, targets);
+float Seq2SeqTrainer::InstanceLoss(const TrainingInstance& inst,
+                                   bool backprop) {
+  EncodedInstance enc = EncodeInstance(inst);
+  if (!enc.valid) return -1.0f;
+  Var memory = model_->Encode(enc.input_ids);
+  Var logits = model_->DecodeLogits(memory, enc.decoder_ids);
+  Var loss = CrossEntropyLoss(logits, enc.targets);
   float value = loss.value().at(0);
   if (backprop) loss.Backward();
   return value;
+}
+
+float Seq2SeqTrainer::BatchLoss(
+    const std::vector<const TrainingInstance*>& batch, bool backprop,
+    int* num_counted) {
+  if (num_counted != nullptr) *num_counted = 0;
+  std::vector<EncodedInstance> encoded;
+  encoded.reserve(batch.size());
+  for (const TrainingInstance* inst : batch) {
+    EncodedInstance enc = EncodeInstance(*inst);
+    if (enc.valid) encoded.push_back(std::move(enc));
+  }
+  if (encoded.empty()) return -1.0f;
+  if (num_counted != nullptr) {
+    *num_counted = static_cast<int>(encoded.size());
+  }
+
+  std::vector<std::vector<int>> inputs, dec_ins;
+  inputs.reserve(encoded.size());
+  dec_ins.reserve(encoded.size());
+  for (const auto& enc : encoded) {
+    inputs.push_back(enc.input_ids);
+    dec_ins.push_back(enc.decoder_ids);
+  }
+  PaddedBatch enc_batch = PaddedBatch::Pack(inputs);
+  PaddedBatch dec_batch = PaddedBatch::Pack(dec_ins);
+  Var memory = model_->EncodeBatch(enc_batch);
+  Var logits =
+      model_->DecodeLogitsBatch(memory, enc_batch.lengths, dec_batch);
+
+  // Per-instance cross-entropy over that instance's (unpadded) positions,
+  // summed: backprop of the sum reproduces the gradient of the old
+  // per-instance accumulation loop exactly.
+  Var total;
+  for (size_t b = 0; b < encoded.size(); ++b) {
+    const int len = static_cast<int>(encoded[b].decoder_ids.size());
+    Var rows = SliceRows(logits, static_cast<int>(b) * dec_batch.padded_len,
+                         len);
+    Var loss = CrossEntropyLoss(rows, encoded[b].targets);
+    total = total.defined() ? Add(total, loss) : loss;
+  }
+  float mean =
+      total.value().at(0) / static_cast<float>(encoded.size());
+  if (backprop) total.Backward();
+  return mean;
 }
 
 float Seq2SeqTrainer::TrainEpoch(const std::vector<TrainingInstance>& instances,
@@ -42,28 +95,30 @@ float Seq2SeqTrainer::TrainEpoch(const std::vector<TrainingInstance>& instances,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
 
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, options_.batch_size));
   double epoch_loss = 0.0;
   size_t counted = 0;
-  size_t in_batch = 0;
-  double batch_loss = 0.0;
-  for (size_t oi = 0; oi < order.size(); ++oi) {
-    float loss = InstanceLoss(instances[order[oi]], /*backprop=*/true);
-    if (loss < 0.0f) continue;  // skipped (too long)
-    epoch_loss += loss;
-    batch_loss += loss;
-    ++counted;
-    ++in_batch;
-    if (in_batch == static_cast<size_t>(options_.batch_size) ||
-        oi + 1 == order.size()) {
-      optimizer_.Step();
-      if (options_.on_step) {
-        options_.on_step(optimizer_.step_count(),
-                         static_cast<float>(batch_loss / in_batch));
-      }
-      in_batch = 0;
-      batch_loss = 0.0;
+  std::vector<const TrainingInstance*> batch;
+  batch.reserve(batch_size);
+  auto flush = [&]() {
+    if (batch.empty()) return;
+    int in_batch = 0;
+    float mean = BatchLoss(batch, /*backprop=*/true, &in_batch);
+    batch.clear();
+    if (mean < 0.0f) return;  // everything in the batch was over-length
+    optimizer_.Step();
+    epoch_loss += static_cast<double>(mean) * in_batch;
+    counted += static_cast<size_t>(in_batch);
+    if (options_.on_step) {
+      options_.on_step(optimizer_.step_count(), mean);
     }
+  };
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    batch.push_back(&instances[order[oi]]);
+    if (batch.size() == batch_size) flush();
   }
+  flush();
   return counted ? static_cast<float>(epoch_loss / counted) : 0.0f;
 }
 
@@ -83,19 +138,32 @@ EvalResult Seq2SeqTrainer::Evaluate(
   size_t exact = 0;
   size_t n = instances.size();
   if (max_instances > 0) n = std::min(n, max_instances);
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, options_.batch_size));
+  // Kept instances and their inputs, decoded in lockstep batches.
+  std::vector<const TrainingInstance*> kept;
+  std::vector<std::vector<int>> kept_inputs;
   for (size_t i = 0; i < n; ++i) {
     const auto& inst = instances[i];
     float loss = InstanceLoss(inst, /*backprop=*/false);
     if (loss < 0.0f) continue;
     loss_sum += loss;
     Prompt prompt{inst.context, inst.input_source};
-    std::vector<int> input_ids = serializer_.EncodePrompt(prompt);
-    std::vector<int> out =
-        model_->GreedyDecode(input_ids, options_.max_label_tokens);
-    std::string text = tokenizer.Decode(out);
-    if (text == inst.label) ++exact;
-    aned_sum += NormalizedEditDistance(text, inst.label);
-    ++result.evaluated;
+    kept.push_back(&inst);
+    kept_inputs.push_back(serializer_.EncodePrompt(prompt));
+  }
+  for (size_t begin = 0; begin < kept.size(); begin += batch_size) {
+    const size_t end = std::min(kept.size(), begin + batch_size);
+    std::vector<std::vector<int>> inputs(kept_inputs.begin() + begin,
+                                         kept_inputs.begin() + end);
+    std::vector<std::vector<int>> outs =
+        model_->GenerateBatch(inputs, options_.max_label_tokens);
+    for (size_t j = 0; j < outs.size(); ++j) {
+      std::string text = tokenizer.Decode(outs[j]);
+      if (text == kept[begin + j]->label) ++exact;
+      aned_sum += NormalizedEditDistance(text, kept[begin + j]->label);
+      ++result.evaluated;
+    }
   }
   if (result.evaluated > 0) {
     result.mean_loss = static_cast<float>(loss_sum / result.evaluated);

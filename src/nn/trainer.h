@@ -15,7 +15,9 @@ namespace nn {
 /// Training configuration for the masked-target objective of §5.1.
 struct TrainerOptions {
   int epochs = 3;
-  int batch_size = 16;  // gradient-accumulation group size
+  /// Instances per optimizer step, run as one padded batched
+  /// forward/backward (gradients equal the old per-instance accumulation).
+  int batch_size = 16;
   AdamOptions adam;
   /// Upper bound on serialized input length; instances longer than this are
   /// skipped (mirrors the model's hard input limit).
@@ -35,7 +37,8 @@ struct EvalResult {
 
 /// Runs teacher-forced training of a byte-level Transformer on masked
 /// transformation instances ("mask all characters in the target and predict
-/// the masked bytes", §4.2).
+/// the masked bytes", §4.2). Each optimizer step runs one true batched
+/// forward/backward over a padded instance batch.
 class Seq2SeqTrainer {
  public:
   Seq2SeqTrainer(Transformer* model, Serializer serializer,
@@ -51,8 +54,17 @@ class Seq2SeqTrainer {
   /// `backprop`).
   float InstanceLoss(const TrainingInstance& inst, bool backprop);
 
-  /// Greedy-decodes every instance and scores exact match / ANED; decodes at
-  /// most `max_instances` (0 = all).
+  /// Mean teacher-forced loss of a batch of instances, computed in one
+  /// padded batched forward. Instances over the length limits are skipped
+  /// (`num_counted`, if given, receives how many contributed); returns -1 if
+  /// nothing remains. When `backprop`, accumulates the gradient of the SUM
+  /// of per-instance losses — the same total gradient the old per-instance
+  /// accumulation produced.
+  float BatchLoss(const std::vector<const TrainingInstance*>& batch,
+                  bool backprop, int* num_counted = nullptr);
+
+  /// Greedy-decodes every instance (batched) and scores exact match / ANED;
+  /// decodes at most `max_instances` (0 = all).
   EvalResult Evaluate(const std::vector<TrainingInstance>& instances,
                       size_t max_instances = 0);
 
@@ -64,6 +76,16 @@ class Seq2SeqTrainer {
   Serializer serializer_;
   TrainerOptions options_;
   Adam optimizer_;
+
+  /// Serialized (input, decoder-input, targets) of one instance; valid is
+  /// false when a length limit was exceeded.
+  struct EncodedInstance {
+    std::vector<int> input_ids;
+    std::vector<int> decoder_ids;
+    std::vector<int> targets;
+    bool valid = false;
+  };
+  EncodedInstance EncodeInstance(const TrainingInstance& inst) const;
 };
 
 }  // namespace nn

@@ -24,12 +24,29 @@ struct TransformerConfig {
   float dropout = 0.0f;
 };
 
+/// A batch of token-id sequences padded to a common length with <pad>.
+/// Sequence b occupies flat[b*padded_len .. (b+1)*padded_len); lengths holds
+/// the true (unpadded) lengths for attention masking.
+struct PaddedBatch {
+  std::vector<int> flat;
+  std::vector<int> lengths;
+  int padded_len = 0;
+
+  int batch() const { return static_cast<int>(lengths.size()); }
+
+  /// Packs `seqs` into a padded batch. Empty sequences get length 0.
+  static PaddedBatch Pack(const std::vector<std::vector<int>>& seqs);
+};
+
 /// One pre-norm encoder block: LN -> self-attn -> +res, LN -> FF -> +res.
 class EncoderLayer : public Module {
  public:
   EncoderLayer(const TransformerConfig& cfg, Rng* rng);
 
   Var Forward(const Var& x) const;
+  /// Batched forward over `batch` sequences packed as [B*T, D]; `mask` is
+  /// the additive self-attention mask (see MultiHeadAttention::ForwardBatch).
+  Var ForwardBatch(const Var& x, int batch, const Tensor* mask) const;
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
 
@@ -47,8 +64,28 @@ class DecoderLayer : public Module {
   DecoderLayer(const TransformerConfig& cfg, Rng* rng);
 
   Var Forward(const Var& x, const Var& memory) const;
+
+  /// Projects the (batched) encoder memory into this layer's cross-attention
+  /// keys/values; computed once per decode and reused across steps.
+  MultiHeadAttention::KvCache PrecomputeCross(const Var& memory) const;
+
+  /// Batched forward: x [B*L, D], causal `self_mask`, cross-attention over
+  /// the cached memory keys/values under `cross_mask` (masks padded memory
+  /// positions per sequence).
+  Var ForwardBatch(const Var& x, int batch, const Tensor* self_mask,
+                   const MultiHeadAttention::KvCache& cross_kv,
+                   const Tensor* cross_mask) const;
+
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
+
+  /// Sub-module views for the graph-free incremental decoder.
+  const LayerNorm& ln1() const { return ln1_; }
+  const MultiHeadAttention& self_attn() const { return self_attn_; }
+  const LayerNorm& ln2() const { return ln2_; }
+  const MultiHeadAttention& cross_attn() const { return cross_attn_; }
+  const LayerNorm& ln3() const { return ln3_; }
+  const FeedForward& ff() const { return ff_; }
 
  private:
   LayerNorm ln1_;
@@ -60,8 +97,8 @@ class DecoderLayer : public Module {
 };
 
 /// The full sequence-to-sequence model operating on token-id sequences.
-/// Single-sequence (unbatched) forward; training batches via gradient
-/// accumulation, which is numerically identical.
+/// Runs single sequences (the original path) or packed padded batches with
+/// length masking; the two are bit-exact on the non-padded positions.
 class Transformer : public Module {
  public:
   Transformer(TransformerConfig cfg, Rng* rng);
@@ -69,14 +106,33 @@ class Transformer : public Module {
   /// Runs the encoder over the serialized prompt -> memory [Ts, D].
   Var Encode(const std::vector<int>& input_ids) const;
 
+  /// Batched encoder pass over padded inputs -> memory [B*T, D]. Padded key
+  /// positions are masked out of self-attention, so each sequence's valid
+  /// memory rows are bit-exact with the unbatched Encode.
+  Var EncodeBatch(const PaddedBatch& inputs) const;
+
   /// Teacher-forcing decoder pass: given memory and decoder input ids
   /// (<sos> t1 .. tn), returns logits [n+1, V] predicting (t1 .. tn <eos>).
   Var DecodeLogits(const Var& memory, const std::vector<int>& decoder_ids) const;
+
+  /// Batched teacher-forcing pass: `memory` [B*Tm, D] from EncodeBatch (with
+  /// `memory_lengths` its true lengths), `decoder_ids` padded decoder inputs.
+  /// Returns logits [B*L, V]; rows at padded decoder positions are garbage
+  /// and must be excluded from any loss.
+  Var DecodeLogitsBatch(const Var& memory,
+                        const std::vector<int>& memory_lengths,
+                        const PaddedBatch& decoder_ids) const;
 
   /// Greedy decoding until <eos> or `max_steps`. Returns generated ids
   /// (without <sos>/<eos>).
   std::vector<int> GreedyDecode(const std::vector<int>& input_ids,
                                 int max_steps) const;
+
+  /// Batched greedy decoding: advances all sequences in lockstep, sharing
+  /// projection GEMMs and reusing the cross-attention key/value cache across
+  /// steps. Bit-exact with per-sequence GreedyDecode.
+  std::vector<std::vector<int>> GenerateBatch(
+      const std::vector<std::vector<int>>& input_ids, int max_steps) const;
 
   /// Beam-search decoding (beam = `beam_size`); returns the best hypothesis.
   std::vector<int> BeamDecode(const std::vector<int>& input_ids, int max_steps,
@@ -103,6 +159,14 @@ class Transformer : public Module {
   Linear lm_head_;
 
   Var Embed(const std::vector<int>& ids) const;
+  /// Embeds a padded batch: token embeddings plus per-sequence positions.
+  Var EmbedBatch(const PaddedBatch& batch) const;
+  /// Decoder stack up to the final hidden state [B*L, D] with precomputed
+  /// per-layer cross-attention caches.
+  Var DecodeHiddenBatch(
+      const PaddedBatch& decoder_ids,
+      const std::vector<MultiHeadAttention::KvCache>& cross_caches,
+      const Tensor& cross_mask) const;
 };
 
 }  // namespace nn

@@ -1,0 +1,56 @@
+#ifndef DTT_UTIL_THREAD_POOL_H_
+#define DTT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dtt {
+
+/// A fixed-size worker pool for sharding independent work items (batched
+/// model inference, per-table experiment sweeps) across threads. Tasks must
+/// not throw; determinism is the caller's job — write to disjoint output
+/// slots and results are identical regardless of thread count or schedule.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(0..n-1) across up to `num_threads` threads, returning when all
+  /// calls are done. Serial (no threads spawned) when num_threads <= 1 or
+  /// n < 2, so a thread count of 1 is exactly the sequential loop.
+  static void ParallelFor(int num_threads, size_t n,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task queued / stop
+  std::condition_variable idle_cv_;   // signals Wait(): a task completed
+  size_t unfinished_ = 0;             // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace dtt
+
+#endif  // DTT_UTIL_THREAD_POOL_H_

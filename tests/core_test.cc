@@ -6,6 +6,7 @@
 #include "core/joiner.h"
 #include "core/pipeline.h"
 #include "core/tasks.h"
+#include "models/neural_model.h"
 #include "models/pattern_induction.h"
 
 namespace dtt {
@@ -151,6 +152,138 @@ TEST(PipelineTest, EndToEndWithInductionModel) {
   auto row = pipeline.TransformRow("Kim Campbell", examples, &rng);
   EXPECT_EQ(row.prediction, "kcampbell");
   EXPECT_GT(row.confidence, 0.5);
+}
+
+TEST(PipelineTest, DefaultTransformBatchLoopsPerPrompt) {
+  FakeModel model(std::map<std::string, std::string>{{"x", "1"}, {"y", "2"}});
+  std::vector<Prompt> prompts(3);
+  prompts[0].source = "x";
+  prompts[1].source = "miss";
+  prompts[2].source = "y";
+  auto results = model.TransformBatch(prompts);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].value(), "1");
+  EXPECT_EQ(results[1].value(), "");
+  EXPECT_EQ(results[2].value(), "2");
+  EXPECT_EQ(model.calls(), 3);
+}
+
+// TransformAll materializes per-row forked RNG streams and writes disjoint
+// output slots, so predictions must be identical whatever the batch size or
+// thread count.
+TEST(PipelineThreadingTest, TransformAllIdenticalAcrossThreadAndBatchSizes) {
+  std::vector<ExamplePair> examples = {
+      {"Justin Trudeau", "jtrudeau"}, {"Stephen Harper", "sharper"},
+      {"Paul Martin", "pmartin"},     {"Jean Chretien", "jchretien"},
+      {"John Turner", "jturner"},     {"Joe Clark", "jclark"},
+      {"Lester Pearson", "lpearson"},
+  };
+  std::vector<std::string> sources = {
+      "Kim Campbell", "Brian Mulroney", "Pierre Trudeau", "John Diefenbaker",
+      "Louis St Laurent", "Mackenzie King", "Arthur Meighen", "Robert Borden",
+  };
+  auto run = [&](int batch_size, int num_threads) {
+    PipelineOptions opts;
+    opts.decomposer.num_trials = 5;  // C(7,2)=21 subsets -> random contexts
+    opts.batch_size = batch_size;
+    opts.num_threads = num_threads;
+    DttPipeline pipeline(std::make_shared<PatternInductionModel>(), opts);
+    Rng rng(99);
+    return pipeline.TransformAll(sources, examples, &rng);
+  };
+  auto baseline = run(/*batch_size=*/3, /*num_threads=*/1);
+  ASSERT_EQ(baseline.size(), sources.size());
+  for (const auto& [batch_size, num_threads] :
+       std::vector<std::pair<int, int>>{{3, 4}, {16, 4}, {1, 1}, {1, 4}}) {
+    auto got = run(batch_size, num_threads);
+    ASSERT_EQ(got.size(), baseline.size());
+    for (size_t r = 0; r < got.size(); ++r) {
+      EXPECT_EQ(got[r].prediction, baseline[r].prediction)
+          << "row " << r << " batch " << batch_size << " threads "
+          << num_threads;
+      EXPECT_EQ(got[r].support, baseline[r].support) << "row " << r;
+      EXPECT_DOUBLE_EQ(got[r].confidence, baseline[r].confidence)
+          << "row " << r;
+    }
+  }
+}
+
+TEST(PipelineThreadingTest, MultiModelThreadedMatchesSerial) {
+  std::vector<ExamplePair> examples = {
+      {"John Smith", "Smith"}, {"Alice Walker", "Walker"},
+      {"Maria Garcia", "Garcia"}, {"Emma Wilson", "Wilson"},
+      {"David Miller", "Miller"},
+  };
+  std::vector<std::string> sources = {"Sarah Davis", "James Moore",
+                                      "Linda Taylor"};
+  auto run = [&](int num_threads) {
+    PipelineOptions opts;
+    opts.batch_size = 2;
+    opts.num_threads = num_threads;
+    DttPipeline pipeline({std::make_shared<PatternInductionModel>(),
+                          std::make_shared<PatternInductionModel>()},
+                         opts);
+    Rng rng(7);
+    return pipeline.TransformAll(sources, examples, &rng);
+  };
+  auto serial = run(1);
+  auto threaded = run(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].prediction, threaded[r].prediction) << "row " << r;
+    EXPECT_EQ(serial[r].support, threaded[r].support) << "row " << r;
+  }
+}
+
+TEST(PipelineTest, TransformAllAdvancesTheCallerRng) {
+  auto model = std::make_shared<FakeModel>(std::map<std::string, std::string>{
+      {"x", "1"}});
+  DttPipeline pipeline(model);
+  Rng used(5), fresh(5);
+  pipeline.TransformAll({"x"}, SomeExamples(), &used);
+  // One draw seeds the per-call base stream, so back-to-back TransformAll
+  // calls sharing an Rng stay independent.
+  EXPECT_NE(used.Next(), fresh.Next());
+}
+
+// Concurrent batched decodes on one shared Transformer: inference only
+// reads the parameters, so sharding batches across threads must be safe
+// (TSan-checked in CI) and bit-identical to the serial dispatch.
+TEST(PipelineThreadingTest, NeuralThreadedMatchesSerial) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 96;
+  Rng init_rng(11);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 8;
+  auto model = std::make_shared<NeuralSeq2SeqModel>(
+      transformer, Serializer(sopts), nopts);
+  std::vector<ExamplePair> examples = {
+      {"ab", "B"}, {"cd", "D"}, {"ef", "F"}, {"gh", "H"}};
+  std::vector<std::string> sources = {"ij", "kl", "mn", "op", "qr", "st"};
+  auto run = [&](int num_threads) {
+    PipelineOptions opts;
+    opts.decomposer.num_trials = 3;
+    opts.batch_size = 4;
+    opts.num_threads = num_threads;
+    DttPipeline pipeline(model, opts);
+    Rng rng(12);
+    return pipeline.TransformAll(sources, examples, &rng);
+  };
+  auto serial = run(1);
+  auto threaded = run(4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].prediction, threaded[r].prediction) << "row " << r;
+    EXPECT_EQ(serial[r].support, threaded[r].support) << "row " << r;
+  }
 }
 
 TEST(JoinerTest, ExactMatchFirst) {
