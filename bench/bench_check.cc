@@ -1,0 +1,137 @@
+// Perf-baseline smoke check (registered as the `perf.baseline_smoke` ctest):
+// runs bench_micro in a reduced mode — only the benchmarks named in the
+// committed baseline document, short --benchmark_min_time — and fails when
+// any of them regresses by more than --max-ratio (default 3x) against
+// bench/baselines/bench_micro.json. CPU time is compared, not wall clock,
+// and the margin is wide on purpose: the check catches order-of-magnitude
+// regressions (an accidentally quadratic loop, a lost batching path) across
+// heterogeneous CI hardware, not percent-level drift.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace {
+
+const dtt::bench::BenchRun* FindRun(const std::vector<dtt::bench::BenchRun>& runs,
+                                    const std::string& name) {
+  for (const auto& run : runs) {
+    if (run.name == name) return &run;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string bench_binary;
+  std::string metric = "cpu_time_s";
+  double max_ratio = 3.0;
+  double min_time = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      if (const char* v = next()) baseline_path = v;
+    } else if (arg == "--bench") {
+      if (const char* v = next()) bench_binary = v;
+    } else if (arg == "--metric") {
+      if (const char* v = next()) metric = v;
+    } else if (arg == "--max-ratio") {
+      if (const char* v = next()) max_ratio = std::atof(v);
+    } else if (arg == "--min-time") {
+      if (const char* v = next()) min_time = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || bench_binary.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --baseline <json> --bench <bench_micro> "
+                 "[--metric cpu_time_s] [--max-ratio 3.0] [--min-time 0.05]\n");
+    return 2;
+  }
+
+  std::vector<dtt::bench::BenchRun> baseline;
+  if (!dtt::bench::ReadBenchRuns(baseline_path, &baseline) ||
+      baseline.empty()) {
+    std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+
+  // Reduced mode: run exactly the baseline's benchmarks, nothing else.
+  // Names are spliced into a regex, so escape everything outside the
+  // benchmark-name alphabet ('<', '+', '(', ... are all legal in names).
+  std::string filter = "^(";
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    if (i) filter += "|";
+    for (char c : baseline[i].name) {
+      const bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         (c >= '0' && c <= '9') || c == '_' || c == '/' ||
+                         c == ':' || c == ' ';
+      if (!plain) filter += '\\';
+      filter += c;
+    }
+  }
+  filter += ")$";
+
+  const std::string current_path = "bench_check_current.json";
+  setenv("DTT_BENCH_JSON", current_path.c_str(), /*overwrite=*/1);
+  char min_time_buf[32];
+  std::snprintf(min_time_buf, sizeof(min_time_buf), "%g", min_time);
+  const std::string command = "\"" + bench_binary + "\"" +
+                              " --benchmark_filter='" + filter + "'" +
+                              " --benchmark_min_time=" + min_time_buf;
+  std::printf("running: %s\n", command.c_str());
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::fprintf(stderr, "bench_micro exited with %d\n", rc);
+    return 1;
+  }
+
+  std::vector<dtt::bench::BenchRun> current;
+  if (!dtt::bench::ReadBenchRuns(current_path, &current)) {
+    std::fprintf(stderr, "cannot read bench output %s\n",
+                 current_path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  std::printf("\n%-36s %14s %14s %8s\n", "benchmark", "baseline(s)",
+              "current(s)", "ratio");
+  for (const auto& base : baseline) {
+    const auto base_it = base.fields.find(metric);
+    if (base_it == base.fields.end() || base_it->second <= 0.0) continue;
+    const dtt::bench::BenchRun* cur = FindRun(current, base.name);
+    const auto cur_it =
+        cur != nullptr ? cur->fields.find(metric) : base.fields.end();
+    if (cur == nullptr || cur_it == cur->fields.end()) {
+      std::printf("%-36s %14.3e %14s %8s  MISSING\n", base.name.c_str(),
+                  base_it->second, "-", "-");
+      ++failures;
+      continue;
+    }
+    const double ratio = cur_it->second / base_it->second;
+    const bool regressed = ratio > max_ratio;
+    std::printf("%-36s %14.3e %14.3e %7.2fx%s\n", base.name.c_str(),
+                base_it->second, cur_it->second, ratio,
+                regressed ? "  REGRESSED" : "");
+    if (regressed) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "\n%d benchmark(s) regressed by more than %.1fx (or went "
+                 "missing); see table above\n",
+                 failures, max_ratio);
+    return 1;
+  }
+  std::printf("\nall benchmarks within %.1fx of baseline\n", max_ratio);
+  return 0;
+}

@@ -96,6 +96,101 @@ std::string BenchJsonReporter::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Unescapes the string forms EscapeString produces (enough for benchmark
+/// and field names; \uXXXX collapses to '?').
+std::string Unescape(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        out += '?';
+        i = i + 4 < s.size() ? i + 4 : s.size() - 1;
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ReadBenchRuns(const std::string& path, std::vector<BenchRun>* runs) {
+  runs->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const size_t runs_pos = text.find("\"runs\":[");
+  if (runs_pos == std::string::npos) return false;
+  size_t i = runs_pos + 8;
+  // Walk the array: one flat {"key":value,...} object per run; strings may
+  // contain any character (escaped), so track string state while scanning.
+  while (i < text.size() && text[i] != ']') {
+    if (text[i] != '{') {
+      ++i;
+      continue;
+    }
+    BenchRun run;
+    ++i;  // past '{'
+    while (i < text.size() && text[i] != '}') {
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      // Key (always a quoted string in our documents).
+      if (text[i] != '"') return false;
+      std::string key;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) key += text[i++];
+        key += text[i++];
+      }
+      ++i;  // closing quote
+      if (i >= text.size() || text[i] != ':') return false;
+      ++i;
+      if (i < text.size() && text[i] == '"') {
+        std::string value;
+        ++i;
+        while (i < text.size() && text[i] != '"') {
+          if (text[i] == '\\' && i + 1 < text.size()) value += text[i++];
+          value += text[i++];
+        }
+        ++i;
+        if (Unescape(key) == "name") run.name = Unescape(value);
+      } else {
+        size_t end = i;
+        while (end < text.size() && text[end] != ',' && text[end] != '}') {
+          ++end;
+        }
+        const std::string value = text.substr(i, end - i);
+        char* parse_end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &parse_end);
+        if (parse_end != value.c_str()) {
+          run.fields[Unescape(key)] = parsed;
+        }
+        i = end;
+      }
+    }
+    if (i < text.size()) ++i;  // past '}'
+    runs->push_back(std::move(run));
+  }
+  return i < text.size();  // reached the closing ']'
+}
+
 std::string BenchJsonReporter::Write(const std::string& path) const {
   std::string target = path;
   if (target.empty()) {

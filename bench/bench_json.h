@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +61,18 @@ class BenchJsonReporter {
   JsonObject meta_;
   std::deque<JsonObject> runs_;  // deque: AddRun references stay valid
 };
+
+/// One run parsed back out of a document this module wrote.
+struct BenchRun {
+  std::string name;
+  std::map<std::string, double> fields;  // numeric scalar fields only
+};
+
+/// Minimal reader for the documents BenchJsonReporter writes (flat scalar
+/// runs): returns each entry of the "runs" array with its name and numeric
+/// fields. Returns false (with runs cleared) when the file is missing or
+/// not in the expected shape. Used by the perf-baseline smoke check.
+bool ReadBenchRuns(const std::string& path, std::vector<BenchRun>* runs);
 
 }  // namespace bench
 }  // namespace dtt

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_json.h"
+#include "data/dataset_cache.h"
 #include "data/realworld_datasets.h"
 #include "data/synthetic_datasets.h"
 #include "eval/experiment.h"
@@ -123,6 +124,10 @@ int Main() {
   std::printf("DTT reproduction — §5.5 runtime scalability\n");
   bench::BenchJsonReporter report("exp_runtime");
   report.meta().Set("seed", static_cast<int64_t>(kSeed));
+  // Generated inputs are cached on disk keyed by (generator, seed, scale),
+  // so repeated driver runs skip regeneration ($DTT_DATASET_CACHE overrides
+  // the directory; 0/off/none disables).
+  DatasetCache cache(DatasetCacheDirFromEnv());
   auto dtt = MakeDttMethod();
   CstJoinMethod cst;
   AfjJoinMethod afj;
@@ -138,8 +143,9 @@ int Main() {
       opts.rows_per_table = 40;
       opts.min_len = len;
       opts.max_len = len + 2;
-      Rng rng(kSeed + static_cast<uint64_t>(len));
-      Dataset ds = MakeSyn(opts, &rng);
+      Dataset ds = cache.GetOrGenerate(
+          {"syn", kSeed + static_cast<uint64_t>(len), ScaleTag(opts)},
+          [&](Rng* rng) { return MakeSyn(opts, rng); });
       std::vector<std::string> row = {std::to_string(len)};
       for (JoinMethod* method : methods) {
         TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
@@ -158,8 +164,9 @@ int Main() {
   PrintBanner("(b) runtime vs row count (phone-10-short vs phone-10-long)");
   {
     RealWorldOptions opts;
-    Rng rng(kSeed);
-    Dataset ss = MakeSpreadsheet(opts, &rng);
+    Dataset ss = cache.GetOrGenerate(
+        {"spreadsheet", kSeed, ScaleTag(opts)},
+        [&](Rng* rng) { return MakeSpreadsheet(opts, rng); });
     TablePrinter table({"table", "rows", "DTT s", "CST s", "AFJ s", "Ditto s"});
     for (const char* name : {"phone-10-short", "phone-10-long"}) {
       const TablePair* t = FindTable(ss, name);
@@ -187,8 +194,9 @@ int Main() {
       opts.rows_per_table = rows;
       // Fixed seed: the SAME transformation program at every row count, so
       // the sweep isolates row-count growth from program difficulty.
-      Rng rng(kSeed + 777);
-      Dataset ds = MakeSyn(opts, &rng);
+      Dataset ds = cache.GetOrGenerate(
+          {"syn", kSeed + 777, ScaleTag(opts)},
+          [&](Rng* rng) { return MakeSyn(opts, rng); });
       std::vector<std::string> row = {std::to_string(rows)};
       for (JoinMethod* method : methods) {
         TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
@@ -210,6 +218,12 @@ int Main() {
   std::printf(
       "\nShape check vs §5.5: the CST column grows much faster than the DTT "
       "column with both length and rows; AFJ/Ditto sit between.\n");
+  if (cache.enabled()) {
+    std::printf("dataset cache (%s): %llu hits, %llu misses\n",
+                cache.dir().c_str(),
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()));
+  }
   const std::string json_path = report.Write();
   if (!json_path.empty()) {
     std::printf("bench JSON written to %s\n", json_path.c_str());

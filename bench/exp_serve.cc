@@ -1,0 +1,319 @@
+// Load generator for the transformation-serving subsystem (src/serve/):
+//  (a) the PR 2 fixed-batch offline path (TransformAllFixedBatch) as the
+//      baseline — one shared pool, fixed batches, no cache;
+//  (b) closed-loop serving: the same request stream through a
+//      TransformService with per-backend micro-batch queues and the
+//      prompt-dedup LRU cache, predictions asserted bit-identical to (a);
+//  (c) open-loop serving: requests submitted at a fixed arrival rate with
+//      per-request latency stamped in the completion callback — reports
+//      p50/p95/p99 latency and achieved rows/sec;
+//  (d) admission backpressure: a flood against a tiny queue bound, counting
+//      typed Unavailable rejections.
+// The workload is the mixed fast+slow two-backend setup of the ROADMAP
+// "multi-backend pooling" item: a fast simulated backend (pattern
+// induction) plus a slow neural backend, with a skewed request stream
+// (every distinct row requested several times) so the dedup cache sees
+// serving-shaped traffic. Every number also lands in the bench JSON
+// document (CI uploads it as a workflow artifact).
+// DTT_EXP_SERVE_QUICK=1 shrinks the stream for smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "core/pipeline.h"
+#include "eval/report.h"
+#include "models/neural_model.h"
+#include "models/pattern_induction.h"
+#include "serve/service.h"
+#include "util/stopwatch.h"
+
+namespace dtt {
+namespace {
+
+constexpr uint64_t kSeed = 20247;
+
+std::string RandomSource(Rng* rng) {
+  static constexpr char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string s;
+  const int n = static_cast<int>(rng->NextInt(8, 12));
+  for (int i = 0; i < n; ++i) {
+    s.push_back(i == n / 2 ? '-' : kAlpha[rng->NextBounded(26)]);
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p * static_cast<double>(values.size()));
+  const size_t idx = static_cast<size_t>(std::max(1.0, rank)) - 1;
+  return values[std::min(idx, values.size() - 1)];
+}
+
+std::shared_ptr<NeuralSeq2SeqModel> MakeSlowBackend() {
+  nn::TransformerConfig cfg;
+  cfg.dim = 32;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 64;
+  cfg.encoder_layers = 1;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 128;
+  Rng init_rng(kSeed);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 10;
+  return std::make_shared<NeuralSeq2SeqModel>(transformer, Serializer(sopts),
+                                              nopts);
+}
+
+serve::ServeOptions ServiceOptions(uint64_t seed, size_t max_pending) {
+  serve::ServeOptions sopts;
+  sopts.seed = seed;
+  sopts.num_threads = 2;
+  serve::BackendQueueOptions fast_q;
+  fast_q.max_batch = 16;
+  serve::BackendQueueOptions slow_q;
+  slow_q.max_batch = 8;
+  sopts.backends = {fast_q, slow_q};
+  sopts.max_pending_rows = max_pending;
+  return sopts;
+}
+
+int Main() {
+  const bool quick = std::getenv("DTT_EXP_SERVE_QUICK") != nullptr;
+  const int num_distinct = quick ? 8 : 16;
+  const int num_requests = quick ? 32 : 96;
+
+  std::printf("DTT serving bench — dynamic micro-batching + dedup cache%s\n",
+              quick ? " (quick)" : "");
+  bench::BenchJsonReporter report("exp_serve");
+  report.meta()
+      .Set("seed", static_cast<int64_t>(kSeed))
+      .Set("quick", quick)
+      .Set("distinct_rows", num_distinct)
+      .Set("requests", num_requests);
+
+  // The two-backend pipeline: fast simulated + slow neural.
+  auto fast = std::make_shared<PatternInductionModel>();
+  auto slow = MakeSlowBackend();
+  std::vector<std::shared_ptr<TextToTextModel>> models = {fast, slow};
+
+  // Workload: 3 examples (C(3,2)=2-subsets are fully enumerated, so a
+  // repeated source row reproduces its exact prompts — serving-shaped
+  // dedup), distinct rows drawn once, requests sampled with repetition.
+  Rng data_rng(kSeed + 1);
+  std::vector<ExamplePair> examples;
+  for (int i = 0; i < 3; ++i) {
+    std::string src = RandomSource(&data_rng);
+    examples.push_back({src, src.substr(src.find('-') + 1)});
+  }
+  std::vector<std::string> distinct;
+  for (int i = 0; i < num_distinct; ++i) {
+    distinct.push_back(RandomSource(&data_rng));
+  }
+  std::vector<std::string> requests;
+  for (int i = 0; i < num_requests; ++i) {
+    requests.push_back(distinct[data_rng.NextBounded(distinct.size())]);
+  }
+
+  PipelineOptions popts;
+  popts.batch_size = 8;
+  popts.num_threads = 2;
+  DttPipeline pipeline(models, popts);
+
+  // (a) The PR 2 fixed-batch path on the full request stream.
+  PrintBanner("(a) fixed-batch offline baseline (PR 2 path)");
+  double fixed_rows_per_sec = 0.0;
+  std::vector<RowPrediction> fixed_rows;
+  {
+    Rng rng(kSeed + 2);
+    Stopwatch timer;
+    fixed_rows = pipeline.TransformAllFixedBatch(requests, examples, &rng);
+    const double seconds = timer.Seconds();
+    fixed_rows_per_sec = static_cast<double>(fixed_rows.size()) / seconds;
+    std::printf("%zu rows in %.3f s -> %.2f rows/s\n", fixed_rows.size(),
+                seconds, fixed_rows_per_sec);
+    report.AddRun("fixed_batch")
+        .Set("seconds", seconds)
+        .Set("rows", static_cast<int64_t>(fixed_rows.size()))
+        .Set("rows_per_sec", fixed_rows_per_sec)
+        .Set("batch_size", popts.batch_size)
+        .Set("num_threads", popts.num_threads);
+  }
+
+  // (b) Closed loop through the service: submit everything, start, drain.
+  PrintBanner("(b) service closed loop (micro-batching + dedup cache)");
+  double service_rows_per_sec = 0.0;
+  {
+    Rng rng(kSeed + 2);
+    serve::ServeOptions sopts =
+        ServiceOptions(rng.Next(), requests.size());
+    sopts.start_paused = true;
+    serve::TransformService service(models, sopts);
+    Stopwatch timer;
+    std::vector<std::future<RowPrediction>> futures;
+    for (const std::string& source : requests) {
+      futures.push_back(service.Submit(source, examples).value());
+    }
+    service.Start();
+    std::vector<RowPrediction> rows;
+    for (auto& f : futures) rows.push_back(f.get());
+    const double seconds = timer.Seconds();
+    service_rows_per_sec = static_cast<double>(rows.size()) / seconds;
+
+    size_t mismatches = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].prediction != fixed_rows[r].prediction) ++mismatches;
+    }
+    const serve::ServiceStats stats = service.stats();
+    const double speedup = fixed_rows_per_sec > 0.0
+                               ? service_rows_per_sec / fixed_rows_per_sec
+                               : 0.0;
+    std::printf(
+        "%zu rows in %.3f s -> %.2f rows/s (%.2fx vs fixed batch), "
+        "%zu prediction mismatches\n",
+        rows.size(), seconds, service_rows_per_sec, speedup, mismatches);
+    std::printf("cache: %llu hits / %llu misses (rate %.2f), dedup joins "
+                "%llu\n",
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.misses),
+                stats.cache.HitRate(),
+                static_cast<unsigned long long>(stats.dedup_joins));
+    TablePrinter table({"backend", "batches", "prompts", "mean batch"});
+    for (const auto& backend : stats.backends) {
+      table.AddRow({backend.name, std::to_string(backend.batches),
+                    std::to_string(backend.prompts),
+                    TablePrinter::Num(backend.mean_batch_size, 2)});
+    }
+    table.Print();
+    report.AddRun("service_closed")
+        .Set("seconds", seconds)
+        .Set("rows", static_cast<int64_t>(rows.size()))
+        .Set("rows_per_sec", service_rows_per_sec)
+        .Set("speedup_vs_fixed", speedup)
+        .Set("cache_hits", static_cast<int64_t>(stats.cache.hits))
+        .Set("cache_misses", static_cast<int64_t>(stats.cache.misses))
+        .Set("cache_hit_rate", stats.cache.HitRate())
+        .Set("dedup_joins", static_cast<int64_t>(stats.dedup_joins))
+        .Set("prediction_mismatches", static_cast<int64_t>(mismatches));
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: service predictions diverge from the fixed-batch "
+                   "path\n");
+      return 1;
+    }
+  }
+
+  // (c) Open loop: fixed arrival rate at ~75% of closed-loop throughput,
+  // latency stamped by the completion callback.
+  PrintBanner("(c) service open loop (fixed arrival rate)");
+  {
+    const double offered =
+        std::max(1.0, 0.75 * service_rows_per_sec);  // rows/sec
+    Rng rng(kSeed + 2);
+    serve::ServeOptions sopts =
+        ServiceOptions(rng.Next(), requests.size());
+    // Serving posture: a 2 ms micro-batch window per backend lets trickling
+    // arrivals coalesce instead of decoding one by one.
+    for (auto& backend : sopts.backends) backend.max_wait_ms = 2.0;
+    serve::TransformService service(models, sopts);
+
+    std::mutex latencies_mu;
+    std::vector<double> latencies_ms;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::chrono::duration<double> gap(1.0 / offered);
+    Stopwatch timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const auto target = t0 + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   gap * static_cast<double>(i));
+      std::this_thread::sleep_until(target);
+      const auto submitted = std::chrono::steady_clock::now();
+      auto admitted = service.Submit(
+          requests[i], examples,
+          [submitted, &latencies_mu, &latencies_ms](const RowPrediction&) {
+            const std::chrono::duration<double, std::milli> elapsed =
+                std::chrono::steady_clock::now() - submitted;
+            std::lock_guard<std::mutex> lock(latencies_mu);
+            latencies_ms.push_back(elapsed.count());
+          });
+      if (!admitted.ok()) {
+        // Queue bound covers the stream; shouldn't happen at this rate.
+        std::fprintf(stderr, "unexpected rejection: %s\n",
+                     admitted.status().message().c_str());
+      }
+    }
+    service.Drain();
+    const double seconds = timer.Seconds();
+    std::vector<double> latencies;
+    {
+      std::lock_guard<std::mutex> lock(latencies_mu);
+      latencies = latencies_ms;
+    }
+    const double achieved = static_cast<double>(latencies.size()) / seconds;
+    const double p50 = Percentile(latencies, 0.50);
+    const double p95 = Percentile(latencies, 0.95);
+    const double p99 = Percentile(latencies, 0.99);
+    const serve::ServiceStats stats = service.stats();
+    std::printf(
+        "offered %.1f rows/s, achieved %.1f rows/s; latency p50 %.2f ms, "
+        "p95 %.2f ms, p99 %.2f ms (cache rate %.2f)\n",
+        offered, achieved, p50, p95, p99, stats.cache.HitRate());
+    report.AddRun("service_open")
+        .Set("offered_rows_per_sec", offered)
+        .Set("achieved_rows_per_sec", achieved)
+        .Set("seconds", seconds)
+        .Set("latency_p50_ms", p50)
+        .Set("latency_p95_ms", p95)
+        .Set("latency_p99_ms", p99)
+        .Set("cache_hit_rate", stats.cache.HitRate());
+  }
+
+  // (d) Backpressure: flood a tiny admission queue, count typed rejections.
+  PrintBanner("(d) admission backpressure");
+  {
+    Rng rng(kSeed + 2);
+    serve::ServeOptions sopts = ServiceOptions(rng.Next(), /*max_pending=*/4);
+    sopts.start_paused = true;  // nothing completes while we flood
+    serve::TransformService service(models, sopts);
+    size_t accepted = 0;
+    size_t rejected = 0;
+    std::vector<std::future<RowPrediction>> futures;
+    for (const std::string& source : requests) {
+      auto admitted = service.Submit(source, examples);
+      if (admitted.ok()) {
+        futures.push_back(std::move(admitted).value());
+        ++accepted;
+      } else if (admitted.status().code() == StatusCode::kUnavailable) {
+        ++rejected;
+      }
+    }
+    service.Start();
+    for (auto& f : futures) f.get();
+    std::printf("flood of %zu: accepted %zu, rejected %zu (Unavailable)\n",
+                requests.size(), accepted, rejected);
+    report.AddRun("backpressure")
+        .Set("flood", static_cast<int64_t>(requests.size()))
+        .Set("accepted", static_cast<int64_t>(accepted))
+        .Set("rejected", static_cast<int64_t>(rejected));
+  }
+
+  const std::string json_path = report.Write();
+  if (!json_path.empty()) {
+    std::printf("\nbench JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dtt
+
+int main() { return dtt::Main(); }

@@ -1,36 +1,40 @@
 #include "core/aggregator.h"
 
-#include <map>
+#include <algorithm>
 
 namespace dtt {
 
 AggregateResult Aggregator::Aggregate(
     const std::vector<std::string>& candidates) const {
   AggregateResult result;
-  std::map<std::string, int> votes;
-  for (const auto& c : candidates) {
-    if (c.empty()) continue;  // abstention
-    ++votes[c];
-    ++result.trials;
+  // Trials may arrive in any completion order (the serving path fans rows
+  // out across queues and threads), so the votes are sorted into a canonical
+  // order before resolution: the winner is a function of the multiset of
+  // candidates alone, never of scheduling.
+  std::vector<std::string> votes;
+  votes.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    if (candidate.empty()) continue;  // abstention
+    votes.push_back(candidate);
   }
+  result.trials = static_cast<int>(votes.size());
   if (votes.empty()) return result;  // everyone abstained
-  // argmax by (support, -length, lexicographic) — deterministic.
+  std::sort(votes.begin(), votes.end());
+  // argmax over the sorted runs by (support, -length, lexicographic); the
+  // ascending scan makes the lexicographic tie-break implicit.
   const std::string* best = nullptr;
   int best_votes = 0;
-  for (const auto& [value, count] : votes) {
-    bool better = false;
-    if (count > best_votes) {
-      better = true;
-    } else if (count == best_votes && best != nullptr) {
-      if (value.size() < best->size() ||
-          (value.size() == best->size() && value < *best)) {
-        better = true;
-      }
-    }
-    if (better) {
-      best = &value;
+  size_t i = 0;
+  while (i < votes.size()) {
+    size_t j = i + 1;
+    while (j < votes.size() && votes[j] == votes[i]) ++j;
+    const int count = static_cast<int>(j - i);
+    if (best == nullptr || count > best_votes ||
+        (count == best_votes && votes[i].size() < best->size())) {
+      best = &votes[i];
       best_votes = count;
     }
+    i = j;
   }
   result.prediction = *best;
   result.support = best_votes;

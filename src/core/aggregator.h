@@ -15,9 +15,13 @@ struct AggregateResult {
 };
 
 /// The frequency-MLE aggregator of §4.3: the predicted target maximizes
-/// P(o | C) ∝ freq(o) / n over the trial outputs (Eq. 3-4). Deterministic
-/// tie-breaking: higher support, then shorter string, then lexicographic.
-/// Abstentions (empty strings) never win unless every trial abstained.
+/// P(o | C) ∝ freq(o) / n over the trial outputs (Eq. 3-4). Candidates are
+/// sorted into a canonical order before vote resolution, so the result is a
+/// function of the candidate multiset alone — trials may complete in any
+/// concurrent order (service mode) and still aggregate bit-identically to
+/// the offline path. Deterministic tie-breaking: higher support, then
+/// shorter string, then lexicographic. Abstentions (empty strings) never win
+/// unless every trial abstained.
 class Aggregator {
  public:
   AggregateResult Aggregate(const std::vector<std::string>& candidates) const;

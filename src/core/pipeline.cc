@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <future>
 
+#include "serve/service.h"
 #include "util/thread_pool.h"
 
 namespace dtt {
@@ -17,16 +19,6 @@ DttPipeline::DttPipeline(std::shared_ptr<TextToTextModel> model,
     : DttPipeline(std::vector<std::shared_ptr<TextToTextModel>>{
                       std::move(model)},
                   options) {}
-
-namespace {
-
-// Errors (e.g. over-length prompts) count as abstentions; the aggregator is
-// the framework's error sink.
-std::string OutputOrAbstain(const Result<std::string>& result) {
-  return result.ok() ? result.value() : std::string();
-}
-
-}  // namespace
 
 RowPrediction DttPipeline::TransformRow(
     const std::string& source, const std::vector<ExamplePair>& examples,
@@ -53,6 +45,40 @@ RowPrediction DttPipeline::TransformRow(
 }
 
 std::vector<RowPrediction> DttPipeline::TransformAll(
+    const std::vector<std::string>& sources,
+    const std::vector<ExamplePair>& examples, Rng* rng) const {
+  serve::ServeOptions sopts;
+  sopts.decomposer = options_.decomposer;
+  // One draw seeds the service's per-request streams — the same single draw
+  // (and the same Fork(row).Fork(model) streams) as the fixed-batch path, so
+  // repeated calls with one Rng stay independent and predictions match
+  // TransformAllFixedBatch bit-for-bit.
+  sopts.seed = rng->Next();
+  sopts.num_threads = options_.num_threads;
+  serve::BackendQueueOptions queue_opts;
+  queue_opts.max_batch = options_.batch_size;
+  queue_opts.max_wait_ms = 0.0;
+  sopts.backends.assign(models_.size(), queue_opts);
+  sopts.max_pending_rows = std::max<size_t>(1, sources.size());
+  // Enqueue the whole table before cutting batches, so offline batches fill
+  // to max_batch exactly as the fixed-batch path groups them.
+  sopts.start_paused = true;
+  serve::TransformService service(models_, sopts);
+
+  std::vector<std::future<RowPrediction>> futures;
+  futures.reserve(sources.size());
+  for (const std::string& source : sources) {
+    // Cannot be rejected: max_pending_rows covers the whole table.
+    futures.push_back(service.Submit(source, examples).value());
+  }
+  service.Start();
+  std::vector<RowPrediction> out;
+  out.reserve(futures.size());
+  for (auto& future : futures) out.push_back(future.get());
+  return out;
+}
+
+std::vector<RowPrediction> DttPipeline::TransformAllFixedBatch(
     const std::vector<std::string>& sources,
     const std::vector<ExamplePair>& examples, Rng* rng) const {
   const size_t num_rows = sources.size();

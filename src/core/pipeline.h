@@ -51,13 +51,26 @@ class DttPipeline {
                              const std::vector<ExamplePair>& examples,
                              Rng* rng) const;
 
-  /// Transforms every source row (the R of Eq. 1). Materializes every
-  /// (row, model, trial) prompt up front — one draw from `rng` seeds
-  /// per-row streams, so predictions do not depend on batch size or thread
-  /// count (and repeated calls with the same rng stay independent) — then
-  /// dispatches the prompts through TransformBatch in options().batch_size
-  /// groups, sharded across options().num_threads workers.
+  /// Transforms every source row (the R of Eq. 1) on top of the
+  /// transformation-serving subsystem: one draw from `rng` seeds the
+  /// service's per-request RNG streams, every row is submitted in order to a
+  /// serve::TransformService (per-backend micro-batch queues of
+  /// options().batch_size, options().num_threads shared workers, prompt
+  /// dedup + LRU result cache), and the futures are collected in submission
+  /// order. Offline experiments and online serving share one scheduler;
+  /// predictions are bit-identical to TransformAllFixedBatch for any batch
+  /// size or thread count (and repeated calls with the same rng stay
+  /// independent).
   std::vector<RowPrediction> TransformAll(
+      const std::vector<std::string>& sources,
+      const std::vector<ExamplePair>& examples, Rng* rng) const;
+
+  /// The pre-serve reference path: materializes every (row, model, trial)
+  /// prompt up front and dispatches fixed batch_size groups across one
+  /// shared pool (all backends convoying, no cache). Kept as the
+  /// bit-identity baseline for the service (asserted in core/serve tests)
+  /// and as the comparison leg of bench/exp_serve.
+  std::vector<RowPrediction> TransformAllFixedBatch(
       const std::vector<std::string>& sources,
       const std::vector<ExamplePair>& examples, Rng* rng) const;
 

@@ -1,0 +1,121 @@
+#include "data/dataset_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/csv.h"
+
+namespace dtt {
+
+namespace {
+
+constexpr char kMagic[] = "dtt-dataset";
+// Format AND generator revision: bump whenever the on-disk layout OR any
+// dataset generator's output for a fixed (seed, options) changes, so stale
+// cache files miss (the revision is part of the file name) instead of
+// silently serving pre-change data.
+constexpr char kVersion[] = "1";
+
+std::string Sanitize(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    out.push_back(safe ? c : '-');
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetCache::DatasetCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string DatasetCache::PathFor(const DatasetCacheKey& key) const {
+  return dir_ + "/" + Sanitize(key.generator) + "_" +
+         std::to_string(key.seed) + "_" + Sanitize(key.scale) + "_v" +
+         kVersion + ".csv";
+}
+
+Dataset DatasetCache::GetOrGenerate(
+    const DatasetCacheKey& key,
+    const std::function<Dataset(Rng*)>& generate) {
+  if (enabled()) {
+    Result<Dataset> cached = Load(key);
+    if (cached.ok()) {
+      ++hits_;
+      return std::move(cached).value();
+    }
+  }
+  ++misses_;
+  Rng rng(key.seed);
+  Dataset dataset = generate(&rng);
+  if (enabled()) Save(key, dataset);  // best effort: a cache, not a store
+  return dataset;
+}
+
+Result<Dataset> DatasetCache::Load(const DatasetCacheKey& key) const {
+  if (!enabled()) return Status::FailedPrecondition("dataset cache disabled");
+  Result<CsvTable> csv = ReadCsvFile(PathFor(key));
+  if (!csv.ok()) return csv.status();
+  const auto& rows = csv.value().rows;
+  if (rows.empty() || rows[0].size() != 3 || rows[0][0] != kMagic ||
+      rows[0][1] != kVersion) {
+    return Status::IOError("not a dtt dataset cache file: " + PathFor(key));
+  }
+  Dataset dataset;
+  dataset.name = rows[0][2];
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() == 2 && row[0] == "table") {
+      dataset.tables.push_back(TablePair{row[1], {}, {}});
+    } else if (row.size() == 3 && row[0] == "row" && !dataset.tables.empty()) {
+      dataset.tables.back().source.push_back(row[1]);
+      dataset.tables.back().target.push_back(row[2]);
+    } else {
+      return Status::IOError("malformed dataset cache record at line " +
+                             std::to_string(i + 1));
+    }
+  }
+  return dataset;
+}
+
+Status DatasetCache::Save(const DatasetCacheKey& key,
+                          const Dataset& dataset) const {
+  if (!enabled()) return Status::FailedPrecondition("dataset cache disabled");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return Status::IOError("cannot create cache dir: " + dir_);
+  CsvTable csv;
+  csv.rows.push_back({kMagic, kVersion, dataset.name});
+  for (const TablePair& table : dataset.tables) {
+    csv.rows.push_back({"table", table.name});
+    for (size_t r = 0; r < table.source.size(); ++r) {
+      csv.rows.push_back({"row", table.source[r], table.target[r]});
+    }
+  }
+  // Stage + rename so a concurrent or interrupted run never reads a torn
+  // file.
+  const std::string path = PathFor(key);
+  const std::string tmp = path + ".tmp";
+  DTT_RETURN_NOT_OK(WriteCsvFile(tmp, csv));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+std::string DatasetCacheDirFromEnv(const std::string& fallback) {
+  const char* env = std::getenv("DTT_DATASET_CACHE");
+  if (env == nullptr) return fallback;
+  const std::string value(env);
+  if (value.empty() || value == "0" || value == "off" || value == "none") {
+    return std::string();
+  }
+  return value;
+}
+
+}  // namespace dtt

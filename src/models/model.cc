@@ -2,6 +2,10 @@
 
 namespace dtt {
 
+std::string OutputOrAbstain(const Result<std::string>& result) {
+  return result.ok() ? result.value() : std::string();
+}
+
 std::vector<Result<std::string>> TextToTextModel::TransformBatch(
     const std::vector<Prompt>& prompts) {
   std::vector<Result<std::string>> results;

@@ -40,7 +40,22 @@ class TextToTextModel {
   /// safe (the implementation keeps no mutable per-call state). The pipeline
   /// only shards batches across threads when every attached model says so.
   virtual bool thread_safe() const { return false; }
+
+  /// True if Transform output is a pure function of the prompt — the gate
+  /// for the serving layer's result cache and prompt dedup. Defaults to
+  /// thread_safe(): every bundled stateless backend derives its randomness
+  /// from (seed, prompt) and is therefore deterministic. A backend that is
+  /// thread-safe but stochastic per call (e.g. temperature sampling off an
+  /// internal atomic RNG) MUST override this to false or caching would
+  /// collapse its independent trials into one repeated draw.
+  virtual bool deterministic() const { return thread_safe(); }
 };
+
+/// The shared error policy of the pipeline and the serving path: model
+/// errors (e.g. over-length prompts) count as abstentions, making the
+/// aggregator the framework's error sink. Both paths must use this one
+/// helper — their predictions are asserted bit-identical.
+std::string OutputOrAbstain(const Result<std::string>& result);
 
 }  // namespace dtt
 

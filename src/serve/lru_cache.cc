@@ -1,0 +1,93 @@
+#include "serve/lru_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+namespace dtt {
+namespace serve {
+
+struct ShardedLruCache::Shard {
+  mutable std::mutex mu;
+  // Front = most recently used. The map points into the list, so entries
+  // move (splice) without invalidating iterators.
+  std::list<std::pair<std::string, std::string>> order;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index;
+  size_t capacity = 1;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  const size_t shards = std::min(
+      capacity_, static_cast<size_t>(std::max(1, num_shards)));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Split the budget evenly; the remainder goes to the first shards so the
+    // total never exceeds `capacity`.
+    shard->capacity = capacity_ / shards + (i < capacity_ % shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedLruCache::~ShardedLruCache() = default;
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<std::string> ShardedLruCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::Put(const std::string& key, std::string value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  if (shard.order.size() >= shard.capacity) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.order.begin());
+  ++shard.insertions;
+}
+
+LruCacheStats ShardedLruCache::stats() const {
+  LruCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.insertions += shard->insertions;
+    total.evictions += shard->evictions;
+    total.size += shard->order.size();
+  }
+  return total;
+}
+
+size_t ShardedLruCache::size() const { return stats().size; }
+
+}  // namespace serve
+}  // namespace dtt

@@ -18,6 +18,9 @@ enum class StatusCode {
   kIOError,
   kInternal,
   kUnimplemented,
+  /// Transient overload: the caller may retry later (serving-path
+  /// backpressure, see serve/service.h).
+  kUnavailable,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "core/aggregator.h"
@@ -54,6 +55,30 @@ TEST(AggregatorTest, DeterministicRegardlessOfOrder) {
   auto r1 = agg.Aggregate({"x", "y", "x"});
   auto r2 = agg.Aggregate({"y", "x", "x"});
   EXPECT_EQ(r1.prediction, r2.prediction);
+}
+
+// Candidates are sorted before vote resolution, so every permutation of a
+// candidate multiset — trials complete in arbitrary order in service mode —
+// resolves to the same winner, support, and confidence, including on ties.
+TEST(AggregatorTest, InvariantUnderCompletionOrder) {
+  Aggregator agg;
+  const std::vector<std::vector<std::string>> vote_sets = {
+      {"bb", "a", "bb", "a"},        // tied support, length tie-break
+      {"b", "a", "c", "b", "a"},     // tied support, lexicographic
+      {"", "x", "", "y", "x"},       // abstentions interleaved
+      {"long", "s", "s", "long"},    // equal support again
+  };
+  for (std::vector<std::string> votes : vote_sets) {
+    std::sort(votes.begin(), votes.end());
+    const AggregateResult want = agg.Aggregate(votes);
+    do {
+      const AggregateResult got = agg.Aggregate(votes);
+      EXPECT_EQ(got.prediction, want.prediction);
+      EXPECT_EQ(got.support, want.support);
+      EXPECT_EQ(got.trials, want.trials);
+      EXPECT_DOUBLE_EQ(got.confidence, want.confidence);
+    } while (std::next_permutation(votes.begin(), votes.end()));
+  }
 }
 
 TEST(AggregatorTest, MultiModelPoolsTrials) {

@@ -1,0 +1,151 @@
+#include "data/dataset_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "data/synthetic_datasets.h"
+#include "testing/temp_dir.h"
+
+namespace dtt {
+namespace {
+
+class DatasetCacheTest : public testing::TempDirTest {};
+
+Dataset TrickyDataset() {
+  Dataset ds;
+  ds.name = "tricky, \"quoted\"";
+  TablePair t1;
+  t1.name = "t1";
+  t1.source = {"plain", "comma, inside", "quote \" inside", "multi\nline"};
+  t1.target = {"a", "b,b", "c\"c", "d\nd"};
+  ds.tables.push_back(t1);
+  TablePair empty;
+  empty.name = "empty-table";
+  ds.tables.push_back(empty);
+  return ds;
+}
+
+void ExpectDatasetsEqual(const Dataset& got, const Dataset& want) {
+  EXPECT_EQ(got.name, want.name);
+  ASSERT_EQ(got.tables.size(), want.tables.size());
+  for (size_t i = 0; i < want.tables.size(); ++i) {
+    EXPECT_EQ(got.tables[i].name, want.tables[i].name);
+    EXPECT_EQ(got.tables[i].source, want.tables[i].source);
+    EXPECT_EQ(got.tables[i].target, want.tables[i].target);
+  }
+}
+
+TEST_F(DatasetCacheTest, SaveLoadRoundTripsQuotingAndEmptyTables) {
+  DatasetCache cache(tmp_path());
+  const DatasetCacheKey key{"tricky", 7, "s1"};
+  ASSERT_TRUE(cache.Save(key, TrickyDataset()).ok());
+  Result<Dataset> loaded = cache.Load(key);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(loaded.value(), TrickyDataset());
+}
+
+TEST_F(DatasetCacheTest, GetOrGenerateSkipsRegenerationOnHit) {
+  DatasetCache cache(tmp_path());
+  SyntheticOptions opts;
+  opts.num_tables = 2;
+  opts.rows_per_table = 6;
+  const DatasetCacheKey key{"syn", 1234, ScaleTag(opts)};
+  int generator_runs = 0;
+  auto generate = [&](Rng* rng) {
+    ++generator_runs;
+    return MakeSyn(opts, rng);
+  };
+  Dataset first = cache.GetOrGenerate(key, generate);
+  EXPECT_EQ(generator_runs, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  Dataset second = cache.GetOrGenerate(key, generate);
+  EXPECT_EQ(generator_runs, 1);  // served from disk
+  EXPECT_EQ(cache.hits(), 1u);
+  ExpectDatasetsEqual(second, first);
+}
+
+TEST_F(DatasetCacheTest, CachedBytesMatchDirectGeneration) {
+  DatasetCache cache(tmp_path());
+  SyntheticOptions opts;
+  opts.num_tables = 1;
+  opts.rows_per_table = 8;
+  const uint64_t seed = 99;
+  // The cache seeds a private Rng(key.seed), so hit and miss both equal the
+  // uncached MakeSyn with that seed.
+  Rng direct_rng(seed);
+  Dataset direct = MakeSyn(opts, &direct_rng);
+  Dataset generated = cache.GetOrGenerate(
+      {"syn", seed, ScaleTag(opts)}, [&](Rng* rng) { return MakeSyn(opts, rng); });
+  ExpectDatasetsEqual(generated, direct);
+  Dataset reloaded = cache.GetOrGenerate(
+      {"syn", seed, ScaleTag(opts)}, [&](Rng* rng) { return MakeSyn(opts, rng); });
+  ExpectDatasetsEqual(reloaded, direct);
+}
+
+TEST_F(DatasetCacheTest, DistinctKeysGetDistinctFiles) {
+  DatasetCache cache(tmp_path());
+  SyntheticOptions opts;
+  EXPECT_NE(cache.PathFor({"syn", 1, ScaleTag(opts)}),
+            cache.PathFor({"syn", 2, ScaleTag(opts)}));
+  EXPECT_NE(cache.PathFor({"syn", 1, "a"}), cache.PathFor({"syn-rp", 1, "a"}));
+  // Hostile key components sanitize into one plain file name inside dir().
+  const std::string path = cache.PathFor({"up/../escape", 1, "a/b c"});
+  const std::string tail = path.substr(tmp_path().size() + 1);
+  EXPECT_EQ(tail.find('/'), std::string::npos);
+  EXPECT_EQ(tail.find(' '), std::string::npos);
+}
+
+TEST_F(DatasetCacheTest, DisabledCacheAlwaysRegenerates) {
+  DatasetCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  int generator_runs = 0;
+  auto generate = [&](Rng*) {
+    ++generator_runs;
+    Dataset ds;
+    ds.name = "d";
+    return ds;
+  };
+  cache.GetOrGenerate({"syn", 1, "s"}, generate);
+  cache.GetOrGenerate({"syn", 1, "s"}, generate);
+  EXPECT_EQ(generator_runs, 2);
+  EXPECT_FALSE(cache.Load({"syn", 1, "s"}).ok());
+}
+
+TEST_F(DatasetCacheTest, CorruptFileFallsBackToRegeneration) {
+  DatasetCache cache(tmp_path());
+  const DatasetCacheKey key{"syn", 5, "s"};
+  ASSERT_TRUE(cache.Save(key, TrickyDataset()).ok());
+  // Clobber the file; the loader must reject it and GetOrGenerate must fall
+  // back to the generator instead of returning garbage.
+  FILE* f = fopen(cache.PathFor(key).c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("not,a,dataset\nrow,x\n", f);
+  fclose(f);
+  EXPECT_FALSE(cache.Load(key).ok());
+  int generator_runs = 0;
+  Dataset regenerated = cache.GetOrGenerate(key, [&](Rng*) {
+    ++generator_runs;
+    Dataset ds;
+    ds.name = "fresh";
+    return ds;
+  });
+  EXPECT_EQ(generator_runs, 1);
+  EXPECT_EQ(regenerated.name, "fresh");
+  // And the fallback repaired the cache entry.
+  EXPECT_TRUE(cache.Load(key).ok());
+}
+
+TEST(DatasetCacheEnvTest, DirFromEnvHonorsDisableValues) {
+  ASSERT_EQ(setenv("DTT_DATASET_CACHE", "/some/dir", 1), 0);
+  EXPECT_EQ(DatasetCacheDirFromEnv("fallback"), "/some/dir");
+  ASSERT_EQ(setenv("DTT_DATASET_CACHE", "0", 1), 0);
+  EXPECT_EQ(DatasetCacheDirFromEnv("fallback"), "");
+  ASSERT_EQ(setenv("DTT_DATASET_CACHE", "off", 1), 0);
+  EXPECT_EQ(DatasetCacheDirFromEnv("fallback"), "");
+  ASSERT_EQ(unsetenv("DTT_DATASET_CACHE"), 0);
+  EXPECT_EQ(DatasetCacheDirFromEnv("fallback"), "fallback");
+}
+
+}  // namespace
+}  // namespace dtt

@@ -1,0 +1,118 @@
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dtt {
+namespace serve {
+namespace {
+
+TEST(ServeLruCacheTest, GetMissThenHit) {
+  ShardedLruCache cache(/*capacity=*/4, /*num_shards=*/1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "1");
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "1");
+}
+
+TEST(ServeLruCacheTest, EvictsLeastRecentlyUsed) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Put("c", "3");  // evicts "a", the oldest
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeLruCacheTest, GetRefreshesRecency) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_TRUE(cache.Get("a").has_value());  // "b" is now least recent
+  cache.Put("c", "3");                      // evicts "b"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+TEST(ServeLruCacheTest, PutRefreshesRecencyAndOverwrites) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Put("a", "updated");  // refresh, no growth
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put("c", "3");  // evicts "b"
+  EXPECT_EQ(*cache.Get("a"), "updated");
+  EXPECT_FALSE(cache.Get("b").has_value());
+}
+
+TEST(ServeLruCacheTest, ShardingNeverExceedsTotalCapacity) {
+  ShardedLruCache cache(/*capacity=*/8, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key-" + std::to_string(i), std::to_string(i));
+    EXPECT_LE(cache.size(), 8u);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ServeLruCacheTest, ShardCountClampedToCapacity) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/16);
+  EXPECT_LE(cache.num_shards(), 2);
+  ShardedLruCache tiny(/*capacity=*/0, /*num_shards=*/0);
+  EXPECT_EQ(tiny.num_shards(), 1);
+  tiny.Put("a", "1");
+  EXPECT_TRUE(tiny.Get("a").has_value());  // capacity clamps to 1
+}
+
+TEST(ServeLruCacheTest, StatsCountHitsMissesInsertionsEvictions) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Get("a");       // miss
+  cache.Put("a", "1");  // insertion
+  cache.Get("a");       // hit
+  cache.Put("b", "2");
+  cache.Put("c", "3");  // eviction
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+// Hammered from several threads; TSan (CI) checks the shard locking.
+TEST(ServeLruCacheTest, ConcurrentGetPutIsSafe) {
+  ShardedLruCache cache(/*capacity=*/64, /*num_shards=*/8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "key-" + std::to_string((t * 13 + i) % 96);
+        if (i % 3 == 0) {
+          cache.Put(key, std::to_string(i));
+        } else {
+          auto value = cache.Get(key);
+          if (value.has_value()) {
+            ASSERT_FALSE(value->empty());
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 64u);
+  const LruCacheStats stats = cache.stats();
+  // Every Get was counted exactly once: 333 gets per thread (i % 3 != 0).
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 333u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dtt

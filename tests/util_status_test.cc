@@ -21,11 +21,14 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::NotFound("missing").ToString(), "NotFound: missing");
+  EXPECT_EQ(Status::Unavailable("overloaded").ToString(),
+            "Unavailable: overloaded");
 }
 
 TEST(StatusTest, Equality) {
