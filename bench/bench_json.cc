@@ -1,10 +1,35 @@
 #include "bench/bench_json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
+
+extern char** environ;
 
 namespace dtt {
 namespace bench {
+
+std::vector<std::pair<std::string, std::string>> DttEnvOverrides() {
+  // Pure output-location knobs: they never change results, and stamping
+  // machine-local paths would make otherwise-identical runs incomparable
+  // (the opposite of the stamp's purpose).
+  constexpr const char* kPathOnly[] = {"DTT_BENCH_JSON", "DTT_DATASET_CACHE"};
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (char** env = environ; env != nullptr && *env != nullptr; ++env) {
+    if (std::strncmp(*env, "DTT_", 4) != 0) continue;
+    const char* eq = std::strchr(*env, '=');
+    if (eq == nullptr) continue;
+    std::string key(*env, static_cast<size_t>(eq - *env));
+    bool path_only = false;
+    for (const char* skip : kPathOnly) path_only = path_only || key == skip;
+    if (path_only) continue;
+    overrides.emplace_back(std::move(key), std::string(eq + 1));
+  }
+  std::sort(overrides.begin(), overrides.end());
+  return overrides;
+}
 
 namespace {
 
@@ -76,7 +101,14 @@ std::string JsonObject::ToJson() const {
 }
 
 BenchJsonReporter::BenchJsonReporter(std::string bench_name)
-    : bench_name_(std::move(bench_name)) {}
+    : bench_name_(std::move(bench_name)) {
+  meta_.Set("schema_version", kBenchJsonSchemaVersion);
+  meta_.Set("host_threads",
+            static_cast<int64_t>(std::thread::hardware_concurrency()));
+  for (const auto& [key, value] : DttEnvOverrides()) {
+    meta_.Set("env_" + key, value);
+  }
+}
 
 JsonObject& BenchJsonReporter::AddRun(const std::string& name) {
   runs_.emplace_back();

@@ -11,6 +11,19 @@
 namespace dtt {
 namespace bench {
 
+/// Layout version of the documents BenchJsonReporter writes; bumped whenever
+/// fields move or change meaning so perf trajectories recorded on different
+/// machines/PRs can filter for comparable documents. Version 2 added the
+/// automatic meta stamp (schema_version, host_threads, env_DTT_*).
+inline constexpr int64_t kBenchJsonSchemaVersion = 2;
+
+/// The DTT_* environment overrides in effect, sorted by name — the knobs
+/// (row scale, worker counts, sweep grids, ...) that make two runs of the
+/// same bench incomparable when they differ. Stamped into every document.
+/// Pure output-location knobs (DTT_BENCH_JSON, DTT_DATASET_CACHE) are
+/// excluded: they never affect results.
+std::vector<std::pair<std::string, std::string>> DttEnvOverrides();
+
 /// A flat ordered JSON object of scalar fields.
 class JsonObject {
  public:
@@ -41,6 +54,9 @@ class JsonObject {
 /// binary as <name>.json, or wherever $DTT_BENCH_JSON points.
 class BenchJsonReporter {
  public:
+  /// Stamps `meta` with the schema version, the host's hardware thread
+  /// count, and every DTT_* environment override in effect (as env_<NAME>
+  /// fields), so documents from different machines/configs are comparable.
   explicit BenchJsonReporter(std::string bench_name);
 
   /// Top-level metadata fields ("meta" object).

@@ -4,8 +4,11 @@
 //   3. reverse/replace generalization in the model (§5.5's "not limited to
 //      training units" claim);
 //   4. edit-distance join vs exact-match join (Eq. 5).
+// All six variants × four datasets run as one grid through the sharded
+// ExperimentRunner.
 #include <cstdio>
 
+#include "bench/exp_common.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "models/pattern_induction.h"
@@ -31,48 +34,49 @@ std::unique_ptr<JoinMethod> DttVariant(const std::string& name,
 }
 
 int Main() {
-  const double scale = RowScaleFromEnv(0.25);
-  std::printf("DTT reproduction — ablation studies\n");
-  std::printf("row scale: %.2f\n", scale);
+  auto ctx = bench::BeginExperiment("exp_ablation", "ablation studies",
+                                    /*default_row_scale=*/0.25, kSeed);
 
-  std::vector<std::unique_ptr<JoinMethod>> variants;
-  variants.push_back(DttVariant("full (n=5,k=2)", {}, 5, 2));
-  variants.push_back(DttVariant("no-aggregation (n=1)", {}, 1, 2));
-  variants.push_back(DttVariant("k=1 context", {}, 5, 1));
-  variants.push_back(DttVariant("k=3 context", {}, 5, 3));
+  ExperimentSpec spec = ctx.Spec("ablation");
+  for (const char* ds_name : {"WT", "Syn", "Syn-RP", "Syn-RV"}) {
+    spec.AddNamedDataset(ds_name);
+  }
+  spec.AddMethod(DttVariant("full (n=5,k=2)", {}, 5, 2));
+  spec.AddMethod(DttVariant("no-aggregation (n=1)", {}, 1, 2));
+  spec.AddMethod(DttVariant("k=1 context", {}, 5, 1));
+  spec.AddMethod(DttVariant("k=3 context", {}, 5, 3));
   {
     PatternInductionOptions no_gen;
     no_gen.detect_reverse = false;
     no_gen.detect_replace = false;
-    variants.push_back(
-        DttVariant("no reverse/replace", std::move(no_gen), 5, 2));
+    spec.AddMethod(DttVariant("no reverse/replace", std::move(no_gen), 5, 2));
   }
   {
     JoinerOptions exact;
     exact.max_distance_ratio = 1e-9;  // rejects every non-exact match
-    variants.push_back(DttVariant("exact-match join", {}, 5, 2, exact));
+    spec.AddMethod(DttVariant("exact-match join", {}, 5, 2, exact));
   }
+  GridResult grid = ctx.runner().Run(spec);
 
-  for (const char* ds_name : {"WT", "Syn", "Syn-RP", "Syn-RV"}) {
-    Dataset ds = MakeDatasetByName(ds_name, kSeed, scale);
-    PrintBanner(std::string("dataset: ") + ds_name);
+  for (const std::string& ds : grid.datasets) {
+    PrintBanner("dataset: " + ds);
     TablePrinter table({"variant", "P", "R", "F1", "ANED"});
-    for (auto& v : variants) {
-      DatasetEval e = EvaluateOnDataset(v.get(), ds, kSeed);
-      table.AddRow({v->name(), TablePrinter::Num(e.join.precision),
+    for (const std::string& variant : grid.methods) {
+      const DatasetEval& e = grid.Eval(ds, variant);
+      table.AddRow({variant, TablePrinter::Num(e.join.precision),
                     TablePrinter::Num(e.join.recall),
                     TablePrinter::Num(e.join.f1),
                     TablePrinter::Num(e.pred.aned)});
-      std::fprintf(stderr, "[ablation] %s / %s done\n", ds_name,
-                   v->name().c_str());
     }
     table.Print();
   }
+  bench::ReportGrid(grid, "ablation", &ctx.report);
   std::printf(
       "\nExpected: removing aggregation hurts under noise/ambiguity; k=1 "
       "hurts everywhere (ambiguous single example); disabling "
       "reverse/replace zeroes Syn-RV and Syn-RP; exact-match join hurts "
       "whenever generations are imperfect (Syn-RV especially).\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,0 +1,108 @@
+#include "bench/exp_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiment.h"
+#include "util/string_util.h"
+
+namespace dtt {
+namespace bench {
+
+ExperimentSpec ExpContext::Spec(std::string spec_name) const {
+  ExperimentSpec spec;
+  spec.name = std::move(spec_name);
+  spec.seed = seed;
+  spec.row_scale = row_scale;
+  return spec;
+}
+
+std::string ExpContext::Finish() {
+  const std::string path = report.Write();
+  if (!path.empty()) {
+    std::printf("bench JSON written to %s\n", path.c_str());
+  }
+  return path;
+}
+
+ExpContext BeginExperiment(const std::string& bench_name,
+                           const std::string& title, double default_row_scale,
+                           uint64_t default_seed) {
+  ExpContext ctx(bench_name);
+  ctx.row_scale = RowScaleFromEnv(default_row_scale);
+  ctx.seed = SeedFromEnv(default_seed);
+  ctx.workers = EvalWorkersFromEnv(1);
+  ctx.report.meta()
+      .Set("row_scale", ctx.row_scale)
+      .Set("seed", static_cast<int64_t>(ctx.seed))
+      .Set("workers", ctx.workers);
+  std::printf("DTT reproduction — %s\n", title.c_str());
+  std::printf(
+      "row scale: %.2f  seed: %llu  eval workers: %d  "
+      "(DTT_ROW_SCALE / DTT_SEED / DTT_EVAL_WORKERS to change)\n",
+      ctx.row_scale, static_cast<unsigned long long>(ctx.seed), ctx.workers);
+  return ctx;
+}
+
+int IntFromEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  return (end != env) ? static_cast<int>(v) : fallback;
+}
+
+std::vector<int> IntListFromEnv(const char* name, std::vector<int> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  std::vector<int> values;
+  for (const auto& part : Split(env, ',')) {
+    if (part.empty()) continue;
+    char* end = nullptr;
+    const long v = std::strtol(part.c_str(), &end, 10);
+    // Any malformed entry invalidates the whole list: a silent 0 is a
+    // meaningful sweep value, not an error marker.
+    if (end != part.c_str() + part.size()) return fallback;
+    values.push_back(static_cast<int>(v));
+  }
+  return values.empty() ? fallback : values;
+}
+
+uint64_t SeedFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("DTT_SEED");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  return (end != env) ? static_cast<uint64_t>(v) : fallback;
+}
+
+void ReportGrid(const GridResult& grid, const std::string& label,
+                BenchJsonReporter* report) {
+  for (size_t d = 0; d < grid.datasets.size(); ++d) {
+    for (size_t m = 0; m < grid.methods.size(); ++m) {
+      const DatasetEval& eval = grid.evals[d][m];
+      for (const TableEval& te : eval.per_table) {
+        report->AddRun(label + ".cell")
+            .Set("dataset", eval.dataset)
+            .Set("method", eval.method)
+            .Set("table", te.table)
+            .Set("seconds", te.seconds)
+            .Set("f1", te.join.f1)
+            .Set("aned", te.pred.aned);
+      }
+    }
+  }
+  const double speedup =
+      grid.wall_seconds > 0.0 ? grid.cell_seconds / grid.wall_seconds : 0.0;
+  report->AddRun(label + ".grid")
+      .Set("datasets", static_cast<int64_t>(grid.datasets.size()))
+      .Set("methods", static_cast<int64_t>(grid.methods.size()))
+      .Set("cells", static_cast<int64_t>(grid.num_cells))
+      .Set("workers", grid.num_workers)
+      .Set("wall_seconds", grid.wall_seconds)
+      .Set("cell_seconds", grid.cell_seconds)
+      .Set("parallel_speedup", speedup);
+}
+
+}  // namespace bench
+}  // namespace dtt

@@ -1,0 +1,74 @@
+#ifndef DTT_BENCH_EXP_COMMON_H_
+#define DTT_BENCH_EXP_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "eval/runner.h"
+
+namespace dtt {
+namespace bench {
+
+/// The shared environment contract of every bench/exp_* driver, read once by
+/// BeginExperiment instead of re-implemented per binary:
+///
+///   DTT_ROW_SCALE    — dataset row scale (driver-specific default)
+///   DTT_SEED         — grid seed override (driver-specific default)
+///   DTT_EVAL_WORKERS — ExperimentRunner worker threads (default 1)
+///   DTT_BENCH_JSON   — bench JSON output path (default <bench>.json)
+struct ExpContext {
+  double row_scale = 1.0;
+  uint64_t seed = 0;
+  int workers = 1;
+  BenchJsonReporter report;  // carries the bench name
+
+  explicit ExpContext(std::string name) : report(std::move(name)) {}
+
+  /// A runner sharding grid cells across this context's worker count, with
+  /// per-column progress lines on stderr.
+  ExperimentRunner runner() const {
+    RunnerOptions options;
+    options.num_workers = workers;
+    options.log_progress = true;
+    return ExperimentRunner(options);
+  }
+
+  /// A spec pre-loaded with this context's seed and row scale.
+  ExperimentSpec Spec(std::string spec_name) const;
+
+  /// Writes the JSON document (see BenchJsonReporter::Write) and prints the
+  /// path; returns it ("" on I/O failure).
+  std::string Finish();
+};
+
+/// Reads the env contract, stamps the reporter's meta with the resolved
+/// values, and prints the standard experiment header (title, row scale,
+/// seed, workers).
+ExpContext BeginExperiment(const std::string& bench_name,
+                           const std::string& title, double default_row_scale,
+                           uint64_t default_seed);
+
+/// Driver-specific integer knob (e.g. DTT_FIG4_EPOCHS); fallback when unset
+/// or unparsable.
+int IntFromEnv(const char* name, int fallback);
+
+/// Driver-specific comma-separated integer list (e.g. DTT_FIG4_GROUPS).
+std::vector<int> IntListFromEnv(const char* name,
+                                std::vector<int> fallback);
+
+/// Seed override from $DTT_SEED.
+uint64_t SeedFromEnv(uint64_t fallback);
+
+/// Appends the grid to the report: one "<label>.cell" run per
+/// (dataset, method, table) cell with its wall-clock and metrics, plus one
+/// "<label>.grid" summary run (cells, wall vs summed cell seconds, workers,
+/// effective parallel speedup).
+void ReportGrid(const GridResult& grid, const std::string& label,
+                BenchJsonReporter* report);
+
+}  // namespace bench
+}  // namespace dtt
+
+#endif  // DTT_BENCH_EXP_COMMON_H_

@@ -7,35 +7,25 @@
 // transformer trains on a miniature grid. The *shape* reproduced: F1 rises
 // steeply from the untrained model, plateaus after enough groupings, and the
 // longer-length regime does not help at short evaluation lengths (§5.8).
+// Each sweep point's end-to-end join evaluation runs as a 2-dataset ×
+// 1-method grid through the sharded ExperimentRunner (the trained
+// transformer is thread-safe, so its clones share one pipeline).
 //
 // Env knobs: DTT_FIG4_GROUPS="0,20,80,200"  DTT_FIG4_EPOCHS=2
 #include <cstdio>
-#include <cstdlib>
 
-#include "core/joiner.h"
-#include "core/pipeline.h"
+#include "bench/exp_common.h"
 #include "data/synthetic_datasets.h"
-#include "eval/metrics.h"
+#include "eval/experiment.h"
 #include "eval/report.h"
 #include "models/neural_model.h"
 #include "nn/trainer.h"
 #include "util/stopwatch.h"
-#include "util/string_util.h"
 
 namespace dtt {
 namespace {
 
 constexpr uint64_t kSeed = 20243;
-
-std::vector<int> GroupGridFromEnv() {
-  const char* env = std::getenv("DTT_FIG4_GROUPS");
-  std::string spec = env ? env : "0,20,80,200";
-  std::vector<int> grid;
-  for (const auto& part : Split(spec, ',')) {
-    if (!part.empty()) grid.push_back(std::atoi(part.c_str()));
-  }
-  return grid;
-}
 
 nn::TransformerConfig MiniConfig() {
   nn::TransformerConfig cfg;
@@ -48,19 +38,25 @@ nn::TransformerConfig MiniConfig() {
   return cfg;
 }
 
-// Evaluation benchmark: miniature Syn-ST / Syn-RP tables (short rows so the
-// mini model's receptive field suffices).
-std::vector<Dataset> EvalSets() {
+/// Evaluation benchmark factories: miniature Syn-ST / Syn-RP tables (short
+/// rows so the mini model's receptive field suffices).
+ExperimentSpec EvalSpec(const bench::ExpContext& ctx, uint64_t seed) {
   SyntheticOptions opts;
   opts.num_tables = 3;
   opts.rows_per_table = 14;
   opts.min_len = 5;
   opts.max_len = 9;
-  std::vector<Dataset> sets;
-  Rng r1(kSeed + 1), r2(kSeed + 2);
-  sets.push_back(MakeSynSt(opts, &r1));
-  sets.push_back(MakeSynRp(opts, &r2));
-  return sets;
+  ExperimentSpec spec = ctx.Spec("fig4");
+  spec.seed = seed;
+  spec.AddDataset("Syn-ST-mini", [opts] {
+    Rng rng(kSeed + 1);
+    return MakeSynSt(opts, &rng);
+  });
+  spec.AddDataset("Syn-RP-mini", [opts] {
+    Rng rng(kSeed + 2);
+    return MakeSynRp(opts, &rng);
+  });
+  return spec;
 }
 
 struct SweepPoint {
@@ -71,10 +67,12 @@ struct SweepPoint {
   double seconds;
 };
 
-SweepPoint RunPoint(int groups, int min_len, int max_len, int epochs) {
+SweepPoint RunPoint(const bench::ExpContext& ctx, int groups, int min_len,
+                    int max_len, int epochs) {
   Stopwatch watch;
-  Rng rng(kSeed + static_cast<uint64_t>(groups) * 7919 +
-          static_cast<uint64_t>(max_len));
+  const uint64_t point_seed = ctx.seed + static_cast<uint64_t>(groups) * 7919 +
+                              static_cast<uint64_t>(max_len);
+  Rng rng(point_seed);
   auto model = std::make_shared<nn::Transformer>(MiniConfig(), &rng);
 
   TrainingDataOptions dopts;
@@ -99,7 +97,7 @@ SweepPoint RunPoint(int groups, int min_len, int max_len, int epochs) {
   if (groups > 0) trainer.Train(data.train, &rng);
   auto val = trainer.Evaluate(data.validation, 40);
 
-  // End-to-end join evaluation through the full pipeline.
+  // End-to-end join evaluation through the full pipeline, as a grid.
   NeuralModelOptions nopts;
   nopts.max_output_tokens = 16;
   auto backend = std::make_shared<NeuralSeq2SeqModel>(
@@ -107,23 +105,21 @@ SweepPoint RunPoint(int groups, int min_len, int max_len, int epochs) {
   PipelineOptions popts;
   popts.decomposer.num_trials = 3;
   popts.serializer = sopts;
-  DttPipeline pipeline(backend, popts);
-  EditDistanceJoiner joiner;
+  ExperimentSpec spec = EvalSpec(ctx, point_seed);
+  spec.AddMethod(std::make_unique<DttJoinMethod>(
+      "neural", std::vector<std::shared_ptr<TextToTextModel>>{backend},
+      popts));
+  GridResult grid = ctx.runner().Run(spec);
 
+  // Pool every table of both mini benchmarks (the paper averages one curve).
   std::vector<JoinMetrics> joins;
   std::vector<PredictionMetrics> preds;
-  for (const auto& ds : EvalSets()) {
-    for (const auto& t : ds.tables) {
-      Rng trng = rng.Fork(Rng::HashString(t.name));
-      TableSplit split = SplitTable(t, &trng);
-      auto rows = pipeline.TransformAll(split.TestSources(), split.examples,
-                                        &trng);
-      std::vector<std::string> outs;
-      for (const auto& r : rows) outs.push_back(r.prediction);
-      auto join = joiner.Join(outs, split.TestTargets());
-      joins.push_back(ScoreJoin(join, split.TestTargets(),
-                                split.TestTargets()));
-      preds.push_back(ScorePredictions(outs, split.TestTargets()));
+  for (const auto& row : grid.evals) {
+    for (const DatasetEval& eval : row) {
+      for (const TableEval& te : eval.per_table) {
+        joins.push_back(te.join);
+        preds.push_back(te.pred);
+      }
     }
   }
   SweepPoint point;
@@ -136,12 +132,13 @@ SweepPoint RunPoint(int groups, int min_len, int max_len, int epochs) {
 }
 
 int Main() {
-  const char* env_epochs = std::getenv("DTT_FIG4_EPOCHS");
-  const int epochs = env_epochs ? std::atoi(env_epochs) : 2;
-  auto grid = GroupGridFromEnv();
-  std::printf(
-      "DTT reproduction — Figure 4 (a-d): neural model vs #training "
-      "groupings (mini scale; see DESIGN.md §1)\n");
+  auto ctx = bench::BeginExperiment(
+      "exp_fig4",
+      "Figure 4 (a-d): neural model vs #training groupings "
+      "(mini scale; see DESIGN.md §1)",
+      /*default_row_scale=*/1.0, kSeed);
+  const int epochs = bench::IntFromEnv("DTT_FIG4_EPOCHS", 2);
+  auto grid = bench::IntListFromEnv("DTT_FIG4_GROUPS", {0, 20, 80, 200});
   std::printf("grid:");
   for (int g : grid) std::printf(" %d", g);
   std::printf("   epochs: %d\n", epochs);
@@ -153,10 +150,17 @@ int Main() {
     TablePrinter table(
         {"groups", "join-F1", "ANED", "val-exact", "train+eval s"});
     for (int g : grid) {
-      SweepPoint p = RunPoint(g, min_len, max_len, epochs);
+      SweepPoint p = RunPoint(ctx, g, min_len, max_len, epochs);
       table.AddRow({std::to_string(p.groups), TablePrinter::Num(p.f1),
                     TablePrinter::Num(p.aned), TablePrinter::Num(p.val_exact),
                     TablePrinter::Num(p.seconds, 1)});
+      ctx.report.AddRun("fig4.point")
+          .Set("regime", regime)
+          .Set("groups", p.groups)
+          .Set("f1", p.f1)
+          .Set("aned", p.aned)
+          .Set("val_exact", p.val_exact)
+          .Set("seconds", p.seconds);
       std::fprintf(stderr, "[fig4] %s groups=%d done (%.1fs)\n", regime, g,
                    p.seconds);
     }
@@ -166,6 +170,7 @@ int Main() {
       "\nShape check vs paper Fig.4: F1 rises sharply from 0 training "
       "samples, then plateaus; ANED falls correspondingly; the long-length "
       "regime tracks the short one on short-row evaluation data.\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,10 +1,14 @@
 // Experiment E5 — Figure 5: robustness to noisy input examples. Noise is
 // injected by replacing a fraction of example targets with random text
 // (§5.10); the plot reports the *drop* in F1 relative to the clean run for
-// DTT and CST on WT, SS and Syn.
+// DTT and CST on WT, SS and Syn. Each noise ratio is one declarative
+// 3-dataset × 2-method grid (the spec's mutate_examples carries the noise)
+// through the sharded ExperimentRunner.
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "bench/exp_common.h"
 #include "data/noise.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
@@ -16,34 +20,51 @@ constexpr uint64_t kSeed = 20244;
 constexpr double kRatios[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
 
 int Main() {
-  const double scale = RowScaleFromEnv(0.25);
-  std::printf("DTT reproduction — Figure 5 (robustness to example noise)\n");
-  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+  auto ctx = bench::BeginExperiment("exp_fig5",
+                                    "Figure 5 (robustness to example noise)",
+                                    /*default_row_scale=*/0.25, kSeed);
 
-  auto dtt = MakeDttMethod();
-  CstJoinMethod cst;
-  std::vector<JoinMethod*> methods = {dtt.get(), &cst};
+  // Materialize the three benchmarks once; every noise ratio borrows them
+  // (the grids differ only in the example mutation).
+  std::vector<Dataset> datasets;
+  for (const char* ds_name : {"WT", "SS", "Syn"}) {
+    datasets.push_back(MakeDatasetByName(ds_name, ctx.seed, ctx.row_scale));
+  }
+
+  std::vector<GridResult> grids;
+  for (double ratio : kRatios) {
+    ExperimentSpec spec = ctx.Spec("fig5");
+    for (const Dataset& ds : datasets) spec.AddDataset(ds);
+    spec.AddMethod(MakeDttMethod());
+    spec.AddMethod(std::make_unique<CstJoinMethod>());
+    spec.mutate_examples = [ratio](std::vector<ExamplePair>* ex, Rng* rng) {
+      AddExampleNoise(ex, ratio, rng);
+    };
+    grids.push_back(ctx.runner().Run(spec));
+    std::fprintf(stderr, "[fig5] noise=%.1f done (%.1fs)\n", ratio,
+                 grids.back().wall_seconds);
+  }
 
   for (const char* ds_name : {"WT", "SS", "Syn"}) {
-    Dataset ds = MakeDatasetByName(ds_name, kSeed, scale);
     PrintBanner(std::string("dataset: ") + ds_name +
                 " (drop in F1 vs noise ratio)");
     TablePrinter table({"noise", "DTT-F1", "DTT-drop", "CST-F1", "CST-drop"});
     std::map<std::string, double> baseline;
-    for (double ratio : kRatios) {
-      std::vector<std::string> row = {TablePrinter::Num(ratio, 1)};
-      for (JoinMethod* method : methods) {
-        auto noisy = [ratio](std::vector<ExamplePair>* ex, Rng* rng) {
-          AddExampleNoise(ex, ratio, rng);
-        };
-        DatasetEval e = EvaluateOnDataset(method, ds, kSeed, noisy);
-        if (ratio == 0.0) baseline[method->name()] = e.join.f1;
+    for (size_t i = 0; i < grids.size(); ++i) {
+      std::vector<std::string> row = {TablePrinter::Num(kRatios[i], 1)};
+      for (const char* method : {"DTT", "CST"}) {
+        const DatasetEval& e = grids[i].Eval(ds_name, method);
+        if (kRatios[i] == 0.0) baseline[method] = e.join.f1;
         row.push_back(TablePrinter::Num(e.join.f1));
-        row.push_back(
-            TablePrinter::Num(baseline[method->name()] - e.join.f1));
+        row.push_back(TablePrinter::Num(baseline[method] - e.join.f1));
+        ctx.report.AddRun("fig5.point")
+            .Set("dataset", ds_name)
+            .Set("method", method)
+            .Set("noise", kRatios[i])
+            .Set("f1", e.join.f1)
+            .Set("seconds", e.seconds);
       }
       table.AddRow(std::move(row));
-      std::fprintf(stderr, "[fig5] %s noise=%.1f done\n", ds_name, ratio);
     }
     table.Print();
   }
@@ -52,6 +73,7 @@ int Main() {
       "0.7-0.8 and < 0.05 at 0.2; CST degrades faster, especially on SS and "
       "Syn where bogus transformations survive the textual-similarity "
       "filter.\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,10 +1,12 @@
 // Experiment E8 — the §5.5 in-text KBWT comparison with DataXFormer:
 // DTT performs on par with (unsupervised) DataXFormer on KB-mediated tables,
 // winning on general-knowledge relations covered by its prior, losing on
-// parametric relations (ISBN->Author, City->Zip).
+// parametric relations (ISBN->Author, City->Zip). One KBWT × 2-method grid
+// through the sharded ExperimentRunner.
 #include <cstdio>
 #include <map>
 
+#include "bench/exp_common.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 
@@ -14,17 +16,19 @@ namespace {
 constexpr uint64_t kSeed = 20247;
 
 int Main() {
-  const double scale = RowScaleFromEnv(1.0);
-  std::printf("DTT reproduction — §5.5 KBWT extra baseline (DataXFormer)\n");
-  std::printf("row scale: %.2f\n", scale);
+  auto ctx = bench::BeginExperiment("exp_kbwt_dataxformer",
+                                    "§5.5 KBWT extra baseline (DataXFormer)",
+                                    /*default_row_scale=*/1.0, kSeed);
 
-  Dataset kbwt = MakeDatasetByName("KBWT", kSeed, scale);
-  auto dtt = MakeDttMethod();
-  DataXFormerJoinMethod dxf(
-      KnowledgeBase::Builtin()->Subsample(kDataXFormerKbCoverage, kSeed));
+  ExperimentSpec spec = ctx.Spec("kbwt_dataxformer");
+  spec.AddNamedDataset("KBWT");
+  spec.AddMethod(MakeDttMethod());
+  spec.AddMethod(std::make_unique<DataXFormerJoinMethod>(
+      KnowledgeBase::Builtin()->Subsample(kDataXFormerKbCoverage, ctx.seed)));
+  GridResult grid = ctx.runner().Run(spec);
 
-  DatasetEval e_dtt = EvaluateOnDataset(dtt.get(), kbwt, kSeed);
-  DatasetEval e_dxf = EvaluateOnDataset(&dxf, kbwt, kSeed);
+  const DatasetEval& e_dtt = grid.Eval("KBWT", "DTT");
+  const DatasetEval& e_dxf = grid.Eval("KBWT", "DataXFormer");
 
   TablePrinter table({"Method", "P", "R", "F1"});
   table.AddRow({"DTT", TablePrinter::Num(e_dtt.join.precision),
@@ -58,10 +62,12 @@ int Main() {
                 TablePrinter::Num(acc.dxf / acc.n)});
   }
   fam.Print();
+  bench::ReportGrid(grid, "kbwt_dataxformer", &ctx.report);
   std::printf(
       "\nShape check vs §5.5: overall F1 of the two methods is comparable "
       "(paper: DTT 0.25 ~ DataXFormer); parametric families (isbn_to_author, "
       "city_to_zip) are near zero for both.\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,12 +1,14 @@
 // Experiment E10 — the genuine neural path end to end (§5.1-§5.3 mechanism):
 // generate synthetic transformation groupings, fine-tune the from-scratch
 // byte-level transformer with the masked-target objective, report the loss
-// curve and held-out exact-match / ANED, and show sample predictions.
+// curve and held-out exact-match / ANED, and show sample predictions. No
+// dataset×method grid here — the shared exp_common harness still provides
+// the env contract (DTT_SEED) and the stamped bench JSON document.
 //
 // Env knobs: DTT_NEURAL_GROUPS=120  DTT_NEURAL_EPOCHS=3
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/exp_common.h"
 #include "eval/report.h"
 #include "nn/checkpoint.h"
 #include "nn/trainer.h"
@@ -20,16 +22,15 @@ namespace {
 constexpr uint64_t kSeed = 20249;
 
 int Main() {
-  const char* eg = std::getenv("DTT_NEURAL_GROUPS");
-  const char* ee = std::getenv("DTT_NEURAL_EPOCHS");
-  const int groups = eg ? std::atoi(eg) : 120;
-  const int epochs = ee ? std::atoi(ee) : 3;
-  std::printf(
-      "DTT reproduction — neural training demo (%d groupings, %d epochs; "
-      "miniature ByT5-style model, see DESIGN.md §1)\n",
-      groups, epochs);
+  auto ctx = bench::BeginExperiment(
+      "exp_neural_training",
+      "neural training demo (miniature ByT5-style model, see DESIGN.md §1)",
+      /*default_row_scale=*/1.0, kSeed);
+  const int groups = bench::IntFromEnv("DTT_NEURAL_GROUPS", 120);
+  const int epochs = bench::IntFromEnv("DTT_NEURAL_EPOCHS", 3);
+  std::printf("groupings: %d   epochs: %d\n", groups, epochs);
 
-  Rng rng(kSeed);
+  Rng rng(ctx.seed);
   nn::TransformerConfig cfg;
   cfg.dim = 48;
   cfg.num_heads = 4;
@@ -70,6 +71,12 @@ int Main() {
                 TablePrinter::Num(ev0.exact_match),
                 TablePrinter::Num(ev0.mean_aned),
                 TablePrinter::Num(watch.Seconds(), 1)});
+  ctx.report.AddRun("epoch")
+      .Set("epoch", 0)
+      .Set("val_loss", static_cast<double>(ev0.mean_loss))
+      .Set("val_exact", ev0.exact_match)
+      .Set("val_aned", ev0.mean_aned)
+      .Set("elapsed_seconds", watch.Seconds());
   for (int e = 1; e <= epochs; ++e) {
     float train_loss = trainer.TrainEpoch(data.train, &rng);
     auto ev = trainer.Evaluate(data.validation, 50);
@@ -78,6 +85,13 @@ int Main() {
                   TablePrinter::Num(ev.exact_match),
                   TablePrinter::Num(ev.mean_aned),
                   TablePrinter::Num(watch.Seconds(), 1)});
+    ctx.report.AddRun("epoch")
+        .Set("epoch", e)
+        .Set("train_loss", static_cast<double>(train_loss))
+        .Set("val_loss", static_cast<double>(ev.mean_loss))
+        .Set("val_exact", ev.exact_match)
+        .Set("val_aned", ev.mean_aned)
+        .Set("elapsed_seconds", watch.Seconds());
     std::fprintf(stderr, "[neural] epoch %d done (loss %.3f)\n", e,
                  train_loss);
   }
@@ -117,6 +131,7 @@ int Main() {
   if (nn::SaveCheckpoint(path, params).ok()) {
     std::printf("checkpoint written to %s\n", path.c_str());
   }
+  ctx.Finish();
   return 0;
 }
 

@@ -6,15 +6,19 @@
 //      (100 rows) (paper: DTT 3->22s, CST 4->366s, AFJ 4->38s, Ditto 1->10s);
 //  (c) row-count growth on synthetic tables (quadratic CST);
 //  (d) neural-path throughput: the serial per-prompt decode vs the batched
-//      multi-threaded pipeline (rows/sec and speedup).
+//      multi-threaded pipeline (rows/sec and speedup);
+//  (e) dataset-grid sharding: the whole benchmark grid through the
+//      ExperimentRunner, serial vs 4 workers — identical DatasetEvals,
+//      ROADMAP's "table sharding" wall-clock win.
 // Absolute numbers differ (different hardware and model substrate); the
 // claim reproduced is the GROWTH: DTT scales roughly linearly with length
 // and rows, CST polynomially with length and quadratically with rows.
 // Every timing also lands in a machine-readable JSON document (see
 // bench/bench_json.h) so perf deltas are tracked across PRs.
 #include <cstdio>
+#include <thread>
 
-#include "bench/bench_json.h"
+#include "bench/exp_common.h"
 #include "data/dataset_cache.h"
 #include "data/realworld_datasets.h"
 #include "data/synthetic_datasets.h"
@@ -28,11 +32,25 @@ namespace {
 
 constexpr uint64_t kSeed = 20246;
 
-TableEval TimeOnTable(JoinMethod* method, const TablePair& table,
-                      uint64_t seed) {
-  Rng rng(seed);
-  TableSplit split = SplitTable(table, &rng);
-  return EvaluateOnSplit(method, split, &rng);
+/// The four Table 1 methods as a spec column set.
+void AddRuntimeMethods(ExperimentSpec* spec) {
+  spec->AddMethod(MakeDttMethod());
+  spec->AddMethod(std::make_unique<CstJoinMethod>());
+  spec->AddMethod(std::make_unique<AfjJoinMethod>());
+  spec->AddMethod(std::make_unique<DittoJoinMethod>());
+}
+
+/// Times every method on one table: a one-table × 4-method grid, evaluated
+/// serially so per-method wall-clock is not polluted by sibling cells.
+GridResult TimeOnTable(const bench::ExpContext& ctx, const std::string& name,
+                       const TablePair& table) {
+  Dataset one;
+  one.name = name;
+  one.tables.push_back(table);
+  ExperimentSpec spec = ctx.Spec("runtime");
+  spec.AddDataset(one);
+  AddRuntimeMethods(&spec);
+  return ExperimentRunner(RunnerOptions{1}).Run(spec);
 }
 
 /// Random lowercase-with-separator source strings for the neural throughput
@@ -51,7 +69,7 @@ std::string ThroughputSource(Rng* rng) {
 /// transformer, once on the per-prompt serial path (batch 1, 1 thread) and
 /// once batched + sharded. The decodes are bit-exact, so the delta is pure
 /// throughput.
-void NeuralThroughput(bench::BenchJsonReporter* report) {
+void NeuralThroughput(uint64_t seed, bench::BenchJsonReporter* report) {
   nn::TransformerConfig cfg;
   cfg.dim = 48;
   cfg.num_heads = 4;
@@ -59,7 +77,7 @@ void NeuralThroughput(bench::BenchJsonReporter* report) {
   cfg.encoder_layers = 2;
   cfg.decoder_layers = 1;
   cfg.max_len = 160;
-  Rng init_rng(kSeed);
+  Rng init_rng(seed);
   auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
   SerializerOptions sopts;
   sopts.max_tokens = cfg.max_len;
@@ -68,7 +86,7 @@ void NeuralThroughput(bench::BenchJsonReporter* report) {
   auto model = std::make_shared<NeuralSeq2SeqModel>(
       transformer, Serializer(sopts), nopts);
 
-  Rng data_rng(kSeed + 1);
+  Rng data_rng(seed + 1);
   std::vector<ExamplePair> examples;
   for (int i = 0; i < 6; ++i) {
     std::string src = ThroughputSource(&data_rng);
@@ -92,7 +110,7 @@ void NeuralThroughput(bench::BenchJsonReporter* report) {
     popts.batch_size = c.batch_size;
     popts.num_threads = c.num_threads;
     DttPipeline pipeline(model, popts);
-    Rng rng(kSeed + 2);
+    Rng rng(seed + 2);
     Stopwatch timer;
     auto rows = pipeline.TransformAll(sources, examples, &rng);
     const double seconds = timer.Seconds();
@@ -120,19 +138,77 @@ void NeuralThroughput(bench::BenchJsonReporter* report) {
   report->AddRun("neural_speedup").Set("speedup", speedup);
 }
 
+/// (e): the full benchmark grid (all seven datasets × the four Table 1
+/// methods) expanded into cells and sharded across the ExperimentRunner's
+/// workers — the "table sharding" level above PR 2's prompt-batch sharding.
+/// The merged DatasetEvals are bit-identical to the serial pass; only the
+/// wall clock moves.
+void GridSharding(const bench::ExpContext& ctx,
+                  bench::BenchJsonReporter* report) {
+  constexpr int kWorkers = 4;
+  // Materialize the seven benchmarks once, outside both timed legs, so the
+  // wall clocks compare pure cell evaluation (dataset generation is a fixed
+  // serial term sharding can never recover).
+  const std::vector<Dataset> datasets =
+      MakeAllDatasets(ctx.seed, 0.35 * ctx.row_scale);
+  auto build_spec = [&] {
+    ExperimentSpec spec = ctx.Spec("grid");
+    for (const Dataset& ds : datasets) spec.AddDataset(ds);
+    AddRuntimeMethods(&spec);
+    return spec;
+  };
+  GridResult serial = ExperimentRunner(RunnerOptions{1}).Run(build_spec());
+  std::fprintf(stderr, "[runtime] grid serial done (%.1fs)\n",
+               serial.wall_seconds);
+  GridResult sharded =
+      ExperimentRunner(RunnerOptions{kWorkers}).Run(build_spec());
+  std::fprintf(stderr, "[runtime] grid sharded done (%.1fs)\n",
+               sharded.wall_seconds);
+
+  bool identical = true;
+  for (size_t d = 0; d < serial.evals.size(); ++d) {
+    for (size_t m = 0; m < serial.evals[d].size(); ++m) {
+      const DatasetEval& a = serial.evals[d][m];
+      const DatasetEval& b = sharded.evals[d][m];
+      identical = identical && a.join.f1 == b.join.f1 &&
+                  a.join.precision == b.join.precision &&
+                  a.join.recall == b.join.recall && a.pred.aned == b.pred.aned;
+    }
+  }
+  const double speedup = sharded.wall_seconds > 0.0
+                             ? serial.wall_seconds / sharded.wall_seconds
+                             : 0.0;
+  TablePrinter table({"path", "workers", "cells", "wall s", "speedup"});
+  table.AddRow({"serial", "1", std::to_string(serial.num_cells),
+                TablePrinter::Num(serial.wall_seconds, 2), "1.00"});
+  table.AddRow({"sharded", std::to_string(kWorkers),
+                std::to_string(sharded.num_cells),
+                TablePrinter::Num(sharded.wall_seconds, 2),
+                TablePrinter::Num(speedup, 2)});
+  table.Print();
+  std::printf("DatasetEvals bit-identical across worker counts: %s\n",
+              identical ? "yes" : "NO (BUG)");
+  const unsigned host_threads = std::thread::hardware_concurrency();
+  std::printf(
+      "dataset-grid speedup at %d workers: %.2fx (target >= 2x on hosts "
+      "with >= %d hardware threads; this host has %u)\n",
+      kWorkers, speedup, kWorkers, host_threads);
+  report->AddRun("grid_sharding")
+      .Set("workers", kWorkers)
+      .Set("cells", static_cast<int64_t>(sharded.num_cells))
+      .Set("serial_seconds", serial.wall_seconds)
+      .Set("sharded_seconds", sharded.wall_seconds)
+      .Set("speedup", speedup)
+      .Set("identical", identical);
+}
+
 int Main() {
-  std::printf("DTT reproduction — §5.5 runtime scalability\n");
-  bench::BenchJsonReporter report("exp_runtime");
-  report.meta().Set("seed", static_cast<int64_t>(kSeed));
+  auto ctx = bench::BeginExperiment("exp_runtime", "§5.5 runtime scalability",
+                                    /*default_row_scale=*/1.0, kSeed);
   // Generated inputs are cached on disk keyed by (generator, seed, scale),
   // so repeated driver runs skip regeneration ($DTT_DATASET_CACHE overrides
   // the directory; 0/off/none disables).
   DatasetCache cache(DatasetCacheDirFromEnv());
-  auto dtt = MakeDttMethod();
-  CstJoinMethod cst;
-  AfjJoinMethod afj;
-  DittoJoinMethod ditto;
-  std::vector<JoinMethod*> methods = {dtt.get(), &cst, &afj, &ditto};
 
   PrintBanner("(a) runtime vs input length (one 40-row synthetic table)");
   {
@@ -144,16 +220,17 @@ int Main() {
       opts.min_len = len;
       opts.max_len = len + 2;
       Dataset ds = cache.GetOrGenerate(
-          {"syn", kSeed + static_cast<uint64_t>(len), ScaleTag(opts)},
+          {"syn", ctx.seed + static_cast<uint64_t>(len), ScaleTag(opts)},
           [&](Rng* rng) { return MakeSyn(opts, rng); });
+      GridResult grid = TimeOnTable(ctx, ds.name, ds.tables[0]);
       std::vector<std::string> row = {std::to_string(len)};
-      for (JoinMethod* method : methods) {
-        TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
-        row.push_back(TablePrinter::Num(e.seconds, 3));
-        report.AddRun("len_sweep")
+      for (const std::string& method : grid.methods) {
+        const double seconds = grid.Eval(ds.name, method).seconds;
+        row.push_back(TablePrinter::Num(seconds, 3));
+        ctx.report.AddRun("len_sweep")
             .Set("len", len)
-            .Set("method", method->name())
-            .Set("seconds", e.seconds);
+            .Set("method", method)
+            .Set("seconds", seconds);
       }
       table.AddRow(std::move(row));
       std::fprintf(stderr, "[runtime] len=%d done\n", len);
@@ -165,20 +242,21 @@ int Main() {
   {
     RealWorldOptions opts;
     Dataset ss = cache.GetOrGenerate(
-        {"spreadsheet", kSeed, ScaleTag(opts)},
+        {"spreadsheet", ctx.seed, ScaleTag(opts)},
         [&](Rng* rng) { return MakeSpreadsheet(opts, rng); });
     TablePrinter table({"table", "rows", "DTT s", "CST s", "AFJ s", "Ditto s"});
     for (const char* name : {"phone-10-short", "phone-10-long"}) {
       const TablePair* t = FindTable(ss, name);
+      GridResult grid = TimeOnTable(ctx, ss.name, *t);
       std::vector<std::string> row = {name, std::to_string(t->num_rows())};
-      for (JoinMethod* method : methods) {
-        TableEval e = TimeOnTable(method, *t, kSeed);
-        row.push_back(TablePrinter::Num(e.seconds, 3));
-        report.AddRun("spreadsheet")
+      for (const std::string& method : grid.methods) {
+        const double seconds = grid.Eval(ss.name, method).seconds;
+        row.push_back(TablePrinter::Num(seconds, 3));
+        ctx.report.AddRun("spreadsheet")
             .Set("table", name)
             .Set("rows", static_cast<int64_t>(t->num_rows()))
-            .Set("method", method->name())
-            .Set("seconds", e.seconds);
+            .Set("method", method)
+            .Set("seconds", seconds);
       }
       table.AddRow(std::move(row));
     }
@@ -195,16 +273,17 @@ int Main() {
       // Fixed seed: the SAME transformation program at every row count, so
       // the sweep isolates row-count growth from program difficulty.
       Dataset ds = cache.GetOrGenerate(
-          {"syn", kSeed + 777, ScaleTag(opts)},
+          {"syn", ctx.seed + 777, ScaleTag(opts)},
           [&](Rng* rng) { return MakeSyn(opts, rng); });
+      GridResult grid = TimeOnTable(ctx, ds.name, ds.tables[0]);
       std::vector<std::string> row = {std::to_string(rows)};
-      for (JoinMethod* method : methods) {
-        TableEval e = TimeOnTable(method, ds.tables[0], kSeed);
-        row.push_back(TablePrinter::Num(e.seconds, 3));
-        report.AddRun("row_sweep")
+      for (const std::string& method : grid.methods) {
+        const double seconds = grid.Eval(ds.name, method).seconds;
+        row.push_back(TablePrinter::Num(seconds, 3));
+        ctx.report.AddRun("row_sweep")
             .Set("rows", rows)
-            .Set("method", method->name())
-            .Set("seconds", e.seconds);
+            .Set("method", method)
+            .Set("seconds", seconds);
       }
       table.AddRow(std::move(row));
       std::fprintf(stderr, "[runtime] rows=%d done\n", rows);
@@ -213,7 +292,10 @@ int Main() {
   }
 
   PrintBanner("(d) neural path throughput: serial vs batched+threaded");
-  NeuralThroughput(&report);
+  NeuralThroughput(ctx.seed, &ctx.report);
+
+  PrintBanner("(e) dataset-grid sharding: serial vs 4-worker runner");
+  GridSharding(ctx, &ctx.report);
 
   std::printf(
       "\nShape check vs §5.5: the CST column grows much faster than the DTT "
@@ -224,10 +306,7 @@ int Main() {
                 static_cast<unsigned long long>(cache.hits()),
                 static_cast<unsigned long long>(cache.misses()));
   }
-  const std::string json_path = report.Write();
-  if (!json_path.empty()) {
-    std::printf("bench JSON written to %s\n", json_path.c_str());
-  }
+  ctx.Finish();
   return 0;
 }
 

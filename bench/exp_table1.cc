@@ -1,13 +1,15 @@
 // Experiment E1 — Table 1 of the paper: heterogeneous-join quality of DTT
-// vs CST, Auto-FuzzyJoin and Ditto on the seven benchmarks.
+// vs CST, Auto-FuzzyJoin and Ditto on the seven benchmarks, evaluated as one
+// declarative dataset×method grid through the sharded ExperimentRunner.
 //
-//   Usage: exp_table1            (paper-scale datasets)
+//   Usage: exp_table1                       (paper-scale datasets)
 //          DTT_ROW_SCALE=0.25 exp_table1    (quick run)
+//          DTT_EVAL_WORKERS=4 exp_table1    (shard the grid; same numbers)
 #include <cstdio>
 
+#include "bench/exp_common.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
-#include "util/stopwatch.h"
 
 namespace dtt {
 namespace {
@@ -15,26 +17,27 @@ namespace {
 constexpr uint64_t kSeed = 20240;
 
 int Main() {
-  const double scale = RowScaleFromEnv(1.0);
-  std::printf("DTT reproduction — Table 1 (heterogeneous join baselines)\n");
-  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+  auto ctx = bench::BeginExperiment(
+      "exp_table1", "Table 1 (heterogeneous join baselines)",
+      /*default_row_scale=*/1.0, kSeed);
 
-  auto datasets = MakeAllDatasets(kSeed, scale);
-  auto dtt = MakeDttMethod();
-  CstJoinMethod cst;
-  AfjJoinMethod afj;
-  DittoJoinMethod ditto;
+  ExperimentSpec spec = ctx.Spec("table1");
+  spec.AddAllDatasets();
+  spec.AddMethod(MakeDttMethod());
+  spec.AddMethod(std::make_unique<CstJoinMethod>());
+  spec.AddMethod(std::make_unique<AfjJoinMethod>());
+  spec.AddMethod(std::make_unique<DittoJoinMethod>());
+  GridResult grid = ctx.runner().Run(spec);
 
   TablePrinter table({"Dataset", "DTT-P", "DTT-R", "DTT-F", "AED", "ANED",
                       "CST-P", "CST-R", "CST-F", "AFJ-P", "AFJ-R", "AFJ-F",
                       "Ditto-P", "Ditto-R", "Ditto-F"});
-  Stopwatch total;
-  for (const auto& ds : datasets) {
-    DatasetEval e_dtt = EvaluateOnDataset(dtt.get(), ds, kSeed);
-    DatasetEval e_cst = EvaluateOnDataset(&cst, ds, kSeed);
-    DatasetEval e_afj = EvaluateOnDataset(&afj, ds, kSeed);
-    DatasetEval e_ditto = EvaluateOnDataset(&ditto, ds, kSeed);
-    table.AddRow({ds.name,
+  for (const std::string& ds : grid.datasets) {
+    const DatasetEval& e_dtt = grid.Eval(ds, "DTT");
+    const DatasetEval& e_cst = grid.Eval(ds, "CST");
+    const DatasetEval& e_afj = grid.Eval(ds, "AFJ");
+    const DatasetEval& e_ditto = grid.Eval(ds, "Ditto");
+    table.AddRow({ds,
                   TablePrinter::Num(e_dtt.join.precision),
                   TablePrinter::Num(e_dtt.join.recall),
                   TablePrinter::Num(e_dtt.join.f1),
@@ -49,15 +52,19 @@ int Main() {
                   TablePrinter::Num(e_ditto.join.precision),
                   TablePrinter::Num(e_ditto.join.recall),
                   TablePrinter::Num(e_ditto.join.f1)});
-    std::fprintf(stderr, "[table1] %s done\n", ds.name.c_str());
   }
   table.Print();
-  std::printf("total wall-clock: %.1fs\n", total.Seconds());
+  std::printf("total wall-clock: %.1fs (%zu cells, %d workers, %.2fx)\n",
+              grid.wall_seconds, grid.num_cells, grid.num_workers,
+              grid.wall_seconds > 0.0 ? grid.cell_seconds / grid.wall_seconds
+                                      : 0.0);
+  bench::ReportGrid(grid, "table1", &ctx.report);
   std::printf(
       "\nPaper reference (Table 1, F1): WT .950/.713/.708/.721  "
       "SS .953/.812/.691/.663  KBWT .254/.083/.093/.131  "
       "Syn .934/.324/.511/.274  Syn-RP 1.0/.897/1.0/.875  "
       "Syn-ST .880/1.0/1.0/.898  Syn-RV .632/.000/.037/.234\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,14 +1,15 @@
 // Experiment E2 — Table 2 + Figure 3: plain few-shot GPT-3 (GPT3-ke) vs
 // GPT-3 inside the DTT framework (GPT3-DTT-ke) for k in {1,2,3,5}, plus the
-// DTT-2e reference bar of Figure 3.
+// DTT-2e reference bar of Figure 3 — one 9-method × 7-dataset grid through
+// the sharded ExperimentRunner (this is the CI reduced-grid smoke).
 //
-// Heavier than Table 1 (8 method configurations x 7 datasets); the default
+// Heavier than Table 1 (9 method configurations x 7 datasets); the default
 // row scale is reduced — set DTT_ROW_SCALE=1 for paper-scale tables.
 #include <cstdio>
 
+#include "bench/exp_common.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
-#include "util/stopwatch.h"
 
 namespace dtt {
 namespace {
@@ -17,12 +18,16 @@ constexpr uint64_t kSeed = 20241;
 constexpr int kShots[] = {1, 2, 3, 5};
 
 int Main() {
-  const double scale = RowScaleFromEnv(0.35);
-  std::printf("DTT reproduction — Table 2 / Figure 3 (GPT-3 baselines)\n");
-  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+  auto ctx = bench::BeginExperiment("exp_table2_fig3",
+                                    "Table 2 / Figure 3 (GPT-3 baselines)",
+                                    /*default_row_scale=*/0.35, kSeed);
 
-  auto datasets = MakeAllDatasets(kSeed, scale);
-  auto dtt = MakeDttMethod();
+  ExperimentSpec spec = ctx.Spec("table2_fig3");
+  spec.AddAllDatasets();
+  for (int k : kShots) spec.AddMethod(MakeGpt3PlainMethod(k));
+  for (int k : kShots) spec.AddMethod(MakeGpt3FrameworkMethod(k));
+  spec.AddMethod(MakeDttMethod());
+  GridResult grid = ctx.runner().Run(spec);
 
   std::vector<std::string> headers = {"Dataset"};
   for (int k : kShots) {
@@ -36,39 +41,39 @@ int Main() {
   headers.push_back("DTT2e-F");
   TablePrinter table(headers);
 
-  Stopwatch total;
   double sum_plain2 = 0.0, sum_framework2 = 0.0;
-  for (const auto& ds : datasets) {
-    std::vector<std::string> row = {ds.name};
+  for (const std::string& ds : grid.datasets) {
+    std::vector<std::string> row = {ds};
     for (int k : kShots) {
-      auto method = MakeGpt3PlainMethod(k);
-      DatasetEval e = EvaluateOnDataset(method.get(), ds, kSeed);
+      const DatasetEval& e = grid.Eval(ds, "GPT3-" + std::to_string(k) + "e");
       row.push_back(TablePrinter::Num(e.join.f1));
       row.push_back(TablePrinter::Num(e.pred.aned));
       if (k == 2) sum_plain2 += e.join.f1;
     }
     for (int k : kShots) {
-      auto method = MakeGpt3FrameworkMethod(k);
-      DatasetEval e = EvaluateOnDataset(method.get(), ds, kSeed);
+      const DatasetEval& e =
+          grid.Eval(ds, "GPT3-DTT-" + std::to_string(k) + "e");
       row.push_back(TablePrinter::Num(e.join.f1));
       row.push_back(TablePrinter::Num(e.pred.aned));
       if (k == 2) sum_framework2 += e.join.f1;
     }
-    DatasetEval e_dtt = EvaluateOnDataset(dtt.get(), ds, kSeed);
-    row.push_back(TablePrinter::Num(e_dtt.join.f1));
+    row.push_back(TablePrinter::Num(grid.Eval(ds, "DTT").join.f1));
     table.AddRow(std::move(row));
-    std::fprintf(stderr, "[table2] %s done\n", ds.name.c_str());
   }
   table.Print();
-  std::printf("total wall-clock: %.1fs\n", total.Seconds());
+  std::printf("total wall-clock: %.1fs (%zu cells, %d workers)\n",
+              grid.wall_seconds, grid.num_cells, grid.num_workers);
+  bench::ReportGrid(grid, "table2_fig3", &ctx.report);
+  const double n = static_cast<double>(grid.datasets.size());
   std::printf(
       "\nFramework lift at k=2 (mean F over datasets): plain %.3f -> "
       "in-framework %.3f  (paper: 0.577 -> 0.618)\n",
-      sum_plain2 / 7.0, sum_framework2 / 7.0);
+      sum_plain2 / n, sum_framework2 / n);
   std::printf(
       "Paper reference (Table 2, F at k=2): WT .933/.979  SS .949/.960  "
       "KBWT .293/.318  Syn .502/.506  Syn-RP .920/.968  Syn-ST .328/.488  "
       "Syn-RV .112/.104 (plain/in-framework)\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,7 +1,9 @@
 // Experiment E3 — Table 3: the multi-model aggregator (§5.7). DTT alone vs
-// GPT-3-in-framework vs the pooled DTT+GPT3 ensemble (5 + 5 trials).
+// GPT-3-in-framework vs the pooled DTT+GPT3 ensemble (5 + 5 trials), as one
+// 3-method × 7-dataset grid through the sharded ExperimentRunner.
 #include <cstdio>
 
+#include "bench/exp_common.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 
@@ -11,24 +13,26 @@ namespace {
 constexpr uint64_t kSeed = 20242;
 
 int Main() {
-  const double scale = RowScaleFromEnv(0.35);
-  std::printf("DTT reproduction — Table 3 (multi-model aggregator)\n");
-  std::printf("row scale: %.2f  (set DTT_ROW_SCALE to change)\n", scale);
+  auto ctx = bench::BeginExperiment("exp_table3",
+                                    "Table 3 (multi-model aggregator)",
+                                    /*default_row_scale=*/0.35, kSeed);
 
-  auto datasets = MakeAllDatasets(kSeed, scale);
-  auto dtt = MakeDttMethod();
-  auto gpt3 = MakeGpt3FrameworkMethod(/*num_examples=*/2);
-  auto combined = MakeCombinedMethod();
+  ExperimentSpec spec = ctx.Spec("table3");
+  spec.AddAllDatasets();
+  spec.AddMethod(MakeDttMethod());
+  spec.AddMethod(MakeGpt3FrameworkMethod(/*num_examples=*/2));
+  spec.AddMethod(MakeCombinedMethod());
+  GridResult grid = ctx.runner().Run(spec);
 
   TablePrinter table({"Dataset", "DTT-F", "DTT-ANED", "GPT3-F", "GPT3-ANED",
                       "DTT+GPT3-F", "DTT+GPT3-ANED"});
   double f_dtt = 0.0, f_gpt = 0.0, f_comb = 0.0;
   double a_dtt = 0.0, a_gpt = 0.0, a_comb = 0.0;
-  for (const auto& ds : datasets) {
-    DatasetEval e1 = EvaluateOnDataset(dtt.get(), ds, kSeed);
-    DatasetEval e2 = EvaluateOnDataset(gpt3.get(), ds, kSeed);
-    DatasetEval e3 = EvaluateOnDataset(combined.get(), ds, kSeed);
-    table.AddRow({ds.name, TablePrinter::Num(e1.join.f1),
+  for (const std::string& ds : grid.datasets) {
+    const DatasetEval& e1 = grid.Eval(ds, "DTT");
+    const DatasetEval& e2 = grid.Eval(ds, "GPT3-DTT-2e");
+    const DatasetEval& e3 = grid.Eval(ds, "DTT+GPT3");
+    table.AddRow({ds, TablePrinter::Num(e1.join.f1),
                   TablePrinter::Num(e1.pred.aned),
                   TablePrinter::Num(e2.join.f1),
                   TablePrinter::Num(e2.pred.aned),
@@ -40,18 +44,21 @@ int Main() {
     a_dtt += e1.pred.aned;
     a_gpt += e2.pred.aned;
     a_comb += e3.pred.aned;
-    std::fprintf(stderr, "[table3] %s done\n", ds.name.c_str());
   }
-  const double n = 7.0;
+  const double n = static_cast<double>(grid.datasets.size());
   table.AddRow({"Average", TablePrinter::Num(f_dtt / n),
                 TablePrinter::Num(a_dtt / n), TablePrinter::Num(f_gpt / n),
                 TablePrinter::Num(a_gpt / n), TablePrinter::Num(f_comb / n),
                 TablePrinter::Num(a_comb / n)});
   table.Print();
+  std::printf("total wall-clock: %.1fs (%zu cells, %d workers)\n",
+              grid.wall_seconds, grid.num_cells, grid.num_workers);
+  bench::ReportGrid(grid, "table3", &ctx.report);
   std::printf(
       "\nPaper reference (Table 3 averages): DTT F .800/ANED .357, "
       "GPT3 F .618/ANED .467, DTT+GPT3 F .815/ANED .334 — the combined "
       "setting should track or beat the better single model.\n");
+  ctx.Finish();
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "eval/join_eval.h"
 
+#include "eval/runner.h"
 #include "util/stopwatch.h"
 
 namespace dtt {
@@ -8,17 +9,28 @@ DttJoinMethod::DttJoinMethod(
     std::string name, std::vector<std::shared_ptr<TextToTextModel>> models,
     PipelineOptions options, JoinerOptions joiner)
     : name_(std::move(name)),
-      pipeline_(std::move(models), options),
+      pipeline_(std::make_shared<DttPipeline>(std::move(models), options)),
       joiner_(joiner) {}
 
 MethodOutput DttJoinMethod::Run(const TableSplit& split, Rng* rng) {
   MethodOutput out;
-  auto rows = pipeline_.TransformAll(split.TestSources(), split.examples, rng);
+  auto rows =
+      pipeline_->TransformAll(split.TestSources(), split.examples, rng);
   out.predictions.reserve(rows.size());
   for (const auto& r : rows) out.predictions.push_back(r.prediction);
   out.has_predictions = true;
   out.join = joiner_.Join(out.predictions, split.TestTargets());
   return out;
+}
+
+std::unique_ptr<JoinMethod> DttJoinMethod::Clone() const {
+  for (const auto& model : pipeline_->models()) {
+    if (!model->thread_safe()) return nullptr;
+  }
+  // Clones share the pipeline: TransformAll is const and builds its own
+  // TransformService per call, so concurrent Runs only ever share the
+  // (thread-safe) model stack.
+  return std::unique_ptr<JoinMethod>(new DttJoinMethod(*this));
 }
 
 PlainLlmJoinMethod::PlainLlmJoinMethod(std::string name,
@@ -48,6 +60,11 @@ MethodOutput PlainLlmJoinMethod::Run(const TableSplit& split, Rng* rng) {
   return out;
 }
 
+std::unique_ptr<JoinMethod> PlainLlmJoinMethod::Clone() const {
+  if (!model_->thread_safe()) return nullptr;
+  return std::unique_ptr<JoinMethod>(new PlainLlmJoinMethod(*this));
+}
+
 CstJoinMethod::CstJoinMethod(CstOptions options)
     : joiner_(std::move(options)) {}
 
@@ -57,6 +74,10 @@ MethodOutput CstJoinMethod::Run(const TableSplit& split, Rng* rng) {
   out.join =
       joiner_.Join(split.TestSources(), split.examples, split.TestTargets());
   return out;
+}
+
+std::unique_ptr<JoinMethod> CstJoinMethod::Clone() const {
+  return std::unique_ptr<JoinMethod>(new CstJoinMethod(*this));
 }
 
 AfjJoinMethod::AfjJoinMethod(AfjOptions options)
@@ -69,15 +90,25 @@ MethodOutput AfjJoinMethod::Run(const TableSplit& split, Rng* rng) {
   return out;
 }
 
+std::unique_ptr<JoinMethod> AfjJoinMethod::Clone() const {
+  return std::unique_ptr<JoinMethod>(new AfjJoinMethod(*this));
+}
+
 DittoJoinMethod::DittoJoinMethod(DittoOptions options)
     : options_(std::move(options)) {}
 
 MethodOutput DittoJoinMethod::Run(const TableSplit& split, Rng* rng) {
   MethodOutput out;
+  // The matcher is trained per Run from the cell's own split and rng, so
+  // clones (plain option copies) are fully isolated.
   DittoMatcher matcher(options_);
   matcher.Train(split.examples, split.TestTargets(), rng);
   out.join = matcher.Join(split.TestSources(), split.TestTargets());
   return out;
+}
+
+std::unique_ptr<JoinMethod> DittoJoinMethod::Clone() const {
+  return std::unique_ptr<JoinMethod>(new DittoJoinMethod(*this));
 }
 
 DataXFormerJoinMethod::DataXFormerJoinMethod(
@@ -92,6 +123,10 @@ MethodOutput DataXFormerJoinMethod::Run(const TableSplit& split, Rng* rng) {
   out.join =
       joiner_.Join(split.TestSources(), split.examples, split.TestTargets());
   return out;
+}
+
+std::unique_ptr<JoinMethod> DataXFormerJoinMethod::Clone() const {
+  return std::unique_ptr<JoinMethod>(new DataXFormerJoinMethod(*this));
 }
 
 TableEval EvaluateOnSplit(JoinMethod* method, const TableSplit& split,
@@ -110,26 +145,14 @@ TableEval EvaluateOnSplit(JoinMethod* method, const TableSplit& split,
 DatasetEval EvaluateOnDataset(JoinMethod* method, const Dataset& dataset,
                               uint64_t seed,
                               const ExampleTransform& mutate_examples) {
-  DatasetEval eval;
-  eval.dataset = dataset.name;
-  eval.method = method->name();
-  std::vector<JoinMetrics> joins;
-  std::vector<PredictionMetrics> preds;
-  Rng rng(seed);
-  for (const auto& table : dataset.tables) {
-    Rng table_rng = rng.Fork(Rng::HashString(table.name));
-    TableSplit split = SplitTable(table, &table_rng);
-    if (mutate_examples) mutate_examples(&split.examples, &table_rng);
-    TableEval te = EvaluateOnSplit(method, split, &table_rng);
-    te.table = table.name;
-    eval.seconds += te.seconds;
-    joins.push_back(te.join);
-    preds.push_back(te.pred);
-    eval.per_table.push_back(std::move(te));
-  }
-  eval.join = AverageJoin(joins);
-  eval.pred = AveragePredictions(preds);
-  return eval;
+  ExperimentSpec spec;
+  spec.name = dataset.name;
+  spec.seed = seed;
+  spec.mutate_examples = mutate_examples;
+  spec.AddDataset(dataset);
+  spec.AddMethod(method);
+  GridResult grid = ExperimentRunner().Run(spec);
+  return std::move(grid.evals[0][0]);
 }
 
 }  // namespace dtt

@@ -29,9 +29,22 @@ class JoinMethod {
   virtual ~JoinMethod() = default;
   virtual std::string name() const = 0;
   virtual MethodOutput Run(const TableSplit& split, Rng* rng) = 0;
+
+  /// A fresh instance whose Run may execute concurrently with (and
+  /// independently of) this one — the concurrency contract of the sharded
+  /// ExperimentRunner, which hands every grid cell its own clone. Cheap
+  /// backing state (options, knowledge bases, thread-safe model stacks) is
+  /// shared; per-Run mutable state must not be. Returns null when the method
+  /// cannot be safely duplicated (e.g. it wraps a model that is not
+  /// thread_safe()); the runner then evaluates that method's cells serially
+  /// on this instance instead of sharding them.
+  virtual std::unique_ptr<JoinMethod> Clone() const { return nullptr; }
 };
 
-/// DTT (or any TextToTextModel stack) + edit-distance join.
+/// DTT (or any TextToTextModel stack) + edit-distance join. Clones share one
+/// serve-backed DttPipeline (TransformAll spins up its own TransformService
+/// per call), so a thread-safe model stack is loaded once and evaluated from
+/// many workers.
 class DttJoinMethod : public JoinMethod {
  public:
   DttJoinMethod(std::string name,
@@ -40,10 +53,13 @@ class DttJoinMethod : public JoinMethod {
 
   std::string name() const override { return name_; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  /// Shares the pipeline when every attached model is thread_safe(); null
+  /// otherwise (the runner falls back to serial evaluation).
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   std::string name_;
-  DttPipeline pipeline_;
+  std::shared_ptr<const DttPipeline> pipeline_;
   EditDistanceJoiner joiner_;
 };
 
@@ -57,6 +73,8 @@ class PlainLlmJoinMethod : public JoinMethod {
 
   std::string name() const override { return name_; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  /// Shares the model when it is thread_safe(); null otherwise.
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   std::string name_;
@@ -70,6 +88,7 @@ class CstJoinMethod : public JoinMethod {
   explicit CstJoinMethod(CstOptions options = {});
   std::string name() const override { return "CST"; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   CstJoiner joiner_;
@@ -80,6 +99,7 @@ class AfjJoinMethod : public JoinMethod {
   explicit AfjJoinMethod(AfjOptions options = {});
   std::string name() const override { return "AFJ"; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   AutoFuzzyJoin joiner_;
@@ -90,6 +110,7 @@ class DittoJoinMethod : public JoinMethod {
   explicit DittoJoinMethod(DittoOptions options = {});
   std::string name() const override { return "Ditto"; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   DittoOptions options_;
@@ -101,6 +122,8 @@ class DataXFormerJoinMethod : public JoinMethod {
                                  DataXFormerOptions options = {});
   std::string name() const override { return "DataXFormer"; }
   MethodOutput Run(const TableSplit& split, Rng* rng) override;
+  /// Clones share the (immutable) knowledge base.
+  std::unique_ptr<JoinMethod> Clone() const override;
 
  private:
   DataXFormerLite joiner_;
@@ -133,7 +156,12 @@ TableEval EvaluateOnSplit(JoinMethod* method, const TableSplit& split,
 using ExampleTransform =
     std::function<void(std::vector<ExamplePair>*, Rng*)>;
 
-/// Splits every table (Se/St), runs the method, macro-averages.
+/// Splits every table (Se/St), runs the method, macro-averages. A thin
+/// wrapper over a one-dataset, one-method ExperimentSpec evaluated serially
+/// (see eval/runner.h): each table's split and run RNG streams are pure
+/// functions of (seed, dataset name, table name[, method name]), never of
+/// loop position, so the result is invariant to table ordering and
+/// bit-identical to any sharded ExperimentRunner cell.
 DatasetEval EvaluateOnDataset(JoinMethod* method, const Dataset& dataset,
                               uint64_t seed,
                               const ExampleTransform& mutate_examples = {});

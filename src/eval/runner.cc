@@ -1,0 +1,300 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace dtt {
+namespace {
+
+/// Order-sensitive 64-bit combine (boost::hash_combine's mixer widened to
+/// 64 bits); the seed participates first so grids with different seeds share
+/// nothing, and each component shifts the state so (a, b) != (b, a).
+uint64_t MixSeed(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 12) + (h >> 4));
+}
+
+}  // namespace
+
+uint64_t GridCellSeed(uint64_t seed, std::string_view dataset,
+                      std::string_view table) {
+  uint64_t h = MixSeed(0xC2B2AE3D27D4EB4FULL, seed);
+  h = MixSeed(h, Rng::HashString(dataset));
+  h = MixSeed(h, Rng::HashString(table));
+  return h;
+}
+
+uint64_t GridCellSeed(uint64_t seed, std::string_view dataset,
+                      std::string_view table, std::string_view method) {
+  return MixSeed(GridCellSeed(seed, dataset, table),
+                 Rng::HashString(method));
+}
+
+ExperimentSpec& ExperimentSpec::AddDataset(std::string dataset_name,
+                                           DatasetFactory factory) {
+  datasets.push_back({std::move(dataset_name), std::move(factory), nullptr});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddDataset(const Dataset& dataset) {
+  datasets.push_back({dataset.name, nullptr, &dataset});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddNamedDataset(std::string dataset_name) {
+  datasets.push_back({std::move(dataset_name), nullptr, nullptr});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddAllDatasets() {
+  for (const char* name :
+       {"WT", "SS", "KBWT", "Syn", "Syn-RP", "Syn-ST", "Syn-RV"}) {
+    AddNamedDataset(name);
+  }
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddMethod(
+    std::unique_ptr<JoinMethod> prototype) {
+  DTT_CHECK(prototype != nullptr);
+  std::string method_name = prototype->name();
+  methods.push_back({std::move(method_name), nullptr, std::move(prototype)});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddMethod(JoinMethod* borrowed) {
+  DTT_CHECK(borrowed != nullptr);
+  methods.push_back({borrowed->name(), nullptr,
+                     std::shared_ptr<JoinMethod>(borrowed,
+                                                 [](JoinMethod*) {})});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::AddMethod(std::string method_name,
+                                          MethodFactory factory) {
+  DTT_CHECK(factory != nullptr);
+  methods.push_back({std::move(method_name), std::move(factory), nullptr});
+  return *this;
+}
+
+const DatasetEval& GridResult::Eval(std::string_view dataset,
+                                    std::string_view method) const {
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    if (datasets[d] != dataset) continue;
+    for (size_t m = 0; m < methods.size(); ++m) {
+      if (methods[m] == method) return evals[d][m];
+    }
+  }
+  DTT_LOGS(Error) << "GridResult::Eval: no cell (" << std::string(dataset)
+                  << ", " << std::string(method) << ")";
+  std::abort();
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options) {}
+
+GridResult ExperimentRunner::Run(const ExperimentSpec& spec) const {
+  Stopwatch wall;
+  GridResult out;
+  const int workers = std::max(1, options_.num_workers);
+  out.num_workers = workers;
+
+  // Names key both the Eval() lookup and the per-cell run-RNG streams;
+  // duplicates would silently collide (identical streams, unreachable
+  // columns), so fail fast instead.
+  for (size_t i = 0; i < spec.methods.size(); ++i) {
+    for (size_t j = i + 1; j < spec.methods.size(); ++j) {
+      if (spec.methods[i].name == spec.methods[j].name) {
+        DTT_LOGS(Error) << "ExperimentSpec: duplicate method name \""
+                        << spec.methods[i].name << "\"";
+        std::abort();
+      }
+    }
+  }
+  for (size_t i = 0; i < spec.datasets.size(); ++i) {
+    for (size_t j = i + 1; j < spec.datasets.size(); ++j) {
+      if (spec.datasets[i].name == spec.datasets[j].name) {
+        DTT_LOGS(Error) << "ExperimentSpec: duplicate dataset name \""
+                        << spec.datasets[i].name << "\"";
+        std::abort();
+      }
+    }
+  }
+
+  // --- Materialize datasets (factories run once; tables shared read-only).
+  std::deque<Dataset> generated;
+  std::vector<const Dataset*> datasets;
+  datasets.reserve(spec.datasets.size());
+  for (const auto& entry : spec.datasets) {
+    out.datasets.push_back(entry.name);
+    if (entry.borrowed != nullptr) {
+      datasets.push_back(entry.borrowed);
+      continue;
+    }
+    generated.push_back(entry.factory
+                            ? entry.factory()
+                            : MakeDatasetByName(entry.name, spec.seed,
+                                                spec.row_scale));
+    datasets.push_back(&generated.back());
+  }
+
+  // --- Resolve one prototype per method entry (serial path + Clone source).
+  std::vector<std::shared_ptr<JoinMethod>> prototypes;
+  prototypes.reserve(spec.methods.size());
+  for (const auto& entry : spec.methods) {
+    out.methods.push_back(entry.name);
+    prototypes.push_back(entry.prototype
+                             ? entry.prototype
+                             : std::shared_ptr<JoinMethod>(entry.factory()));
+    DTT_CHECK(prototypes.back() != nullptr);
+  }
+
+  // --- Expand the grid into cells in canonical (dataset, method, table)
+  // order. Each cell owns one output slot, so any schedule merges back
+  // identically.
+  struct Cell {
+    size_t d, m, t;
+  };
+  std::vector<Cell> cells;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t m = 0; m < spec.methods.size(); ++m) {
+      for (size_t t = 0; t < datasets[d]->tables.size(); ++t) {
+        cells.push_back({d, m, t});
+      }
+    }
+  }
+  out.num_cells = cells.size();
+  std::vector<TableEval> results(cells.size());
+
+  // Progress: one stderr line as each (dataset, method) column completes —
+  // the heartbeat long paper-scale runs and CI logs rely on. Cells finish in
+  // any order under sharding, so columns are tracked with atomic counters.
+  const size_t num_methods = spec.methods.size();
+  std::unique_ptr<std::atomic<size_t>[]> remaining(
+      new std::atomic<size_t>[datasets.size() * num_methods]);
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t m = 0; m < num_methods; ++m) {
+      remaining[d * num_methods + m].store(datasets[d]->tables.size(),
+                                           std::memory_order_relaxed);
+    }
+  }
+  const bool log_progress = options_.log_progress;
+  auto finish_cell = [&](const Cell& cell) {
+    if (!log_progress) return;
+    const size_t column = cell.d * num_methods + cell.m;
+    if (remaining[column].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::fprintf(stderr, "[%s] %s / %s done\n", spec.name.c_str(),
+                   out.datasets[cell.d].c_str(), out.methods[cell.m].c_str());
+    }
+  };
+
+  auto eval_cell = [&](const Cell& cell, JoinMethod* method) {
+    // Streams key on the SPEC ENTRY name — the name the duplicate guard
+    // checks and Eval() looks up — not whatever .name the factory put inside
+    // the generated Dataset (distinct entries whose factories reuse an
+    // internal name must not collide).
+    const std::string& ds_name = out.datasets[cell.d];
+    const TablePair& table = datasets[cell.d]->tables[cell.t];
+    // Split + mutation stream: (seed, dataset, table) only, so every method
+    // column sees the identical split of each table.
+    Rng split_rng(GridCellSeed(spec.seed, ds_name, table.name));
+    TableSplit split = SplitTable(table, &split_rng);
+    if (spec.mutate_examples) spec.mutate_examples(&split.examples, &split_rng);
+    // Run stream: additionally keyed by method, never by schedule.
+    Rng run_rng(GridCellSeed(spec.seed, ds_name, table.name,
+                             spec.methods[cell.m].name));
+    TableEval te = EvaluateOnSplit(method, split, &run_rng);
+    te.table = table.name;
+    return te;
+  };
+
+  if (workers <= 1 || cells.size() < 2) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = eval_cell(cells[i], prototypes[cells[i].m].get());
+      finish_cell(cells[i]);
+    }
+  } else {
+    // Per method, decide how cells obtain an instance: a fresh clone per
+    // cell, a factory-built instance per cell, or — when neither exists —
+    // the shared prototype with all of that method's cells serialized in
+    // canonical order on one worker (still deterministic, just unsharded).
+    ThreadPool pool(workers);
+    for (size_t m = 0; m < spec.methods.size(); ++m) {
+      const ExperimentSpec::MethodEntry& entry = spec.methods[m];
+      JoinMethod* proto = prototypes[m].get();
+      std::unique_ptr<JoinMethod> probe = proto->Clone();
+      const bool clones = probe != nullptr;
+      if (clones || entry.factory) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+          if (cells[i].m != m) continue;
+          pool.Submit([&, i, m, clones] {
+            std::unique_ptr<JoinMethod> instance =
+                clones ? prototypes[m]->Clone() : spec.methods[m].factory();
+            results[i] = eval_cell(cells[i], instance.get());
+            finish_cell(cells[i]);
+          });
+        }
+      } else {
+        pool.Submit([&, m, proto] {
+          for (size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].m != m) continue;
+            results[i] = eval_cell(cells[i], proto);
+            finish_cell(cells[i]);
+          }
+        });
+      }
+    }
+    pool.Wait();
+  }
+
+  // --- Merge: per (dataset, method), per-table evals in the dataset's table
+  // order, macro-averaged exactly like the serial EvaluateOnDataset.
+  out.evals.assign(datasets.size(),
+                   std::vector<DatasetEval>(spec.methods.size()));
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t m = 0; m < spec.methods.size(); ++m) {
+      DatasetEval& eval = out.evals[d][m];
+      eval.dataset = out.datasets[d];
+      eval.method = out.methods[m];
+    }
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    DatasetEval& eval = out.evals[cells[i].d][cells[i].m];
+    eval.seconds += results[i].seconds;
+    out.cell_seconds += results[i].seconds;
+    eval.per_table.push_back(std::move(results[i]));
+  }
+  for (auto& row : out.evals) {
+    for (DatasetEval& eval : row) {
+      std::vector<JoinMetrics> joins;
+      std::vector<PredictionMetrics> preds;
+      joins.reserve(eval.per_table.size());
+      preds.reserve(eval.per_table.size());
+      for (const TableEval& te : eval.per_table) {
+        joins.push_back(te.join);
+        preds.push_back(te.pred);
+      }
+      eval.join = AverageJoin(joins);
+      eval.pred = AveragePredictions(preds);
+    }
+  }
+  out.wall_seconds = wall.Seconds();
+  return out;
+}
+
+int EvalWorkersFromEnv(int fallback) {
+  const char* env = std::getenv("DTT_EVAL_WORKERS");
+  if (env == nullptr) return fallback;
+  int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace dtt

@@ -1,0 +1,269 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/noise.h"
+#include "eval/experiment.h"
+
+namespace dtt {
+namespace {
+
+// Exact (bit-level) equality of the merged metric fields; `seconds` is the
+// one schedule-dependent field and is deliberately excluded.
+void ExpectSameEval(const DatasetEval& a, const DatasetEval& b) {
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_DOUBLE_EQ(a.join.precision, b.join.precision);
+  EXPECT_DOUBLE_EQ(a.join.recall, b.join.recall);
+  EXPECT_DOUBLE_EQ(a.join.f1, b.join.f1);
+  EXPECT_DOUBLE_EQ(a.pred.aed, b.pred.aed);
+  EXPECT_DOUBLE_EQ(a.pred.aned, b.pred.aned);
+  ASSERT_EQ(a.per_table.size(), b.per_table.size());
+  for (size_t t = 0; t < a.per_table.size(); ++t) {
+    EXPECT_EQ(a.per_table[t].table, b.per_table[t].table);
+    EXPECT_DOUBLE_EQ(a.per_table[t].join.f1, b.per_table[t].join.f1);
+    EXPECT_DOUBLE_EQ(a.per_table[t].join.precision,
+                     b.per_table[t].join.precision);
+    EXPECT_DOUBLE_EQ(a.per_table[t].pred.aned, b.per_table[t].pred.aned);
+  }
+}
+
+void ExpectSameGrid(const GridResult& a, const GridResult& b) {
+  ASSERT_EQ(a.datasets, b.datasets);
+  ASSERT_EQ(a.methods, b.methods);
+  for (size_t d = 0; d < a.evals.size(); ++d) {
+    for (size_t m = 0; m < a.evals[d].size(); ++m) {
+      ExpectSameEval(a.evals[d][m], b.evals[d][m]);
+    }
+  }
+}
+
+ExperimentSpec SmallSpec(bool with_noise = false) {
+  ExperimentSpec spec;
+  spec.seed = 17;
+  spec.row_scale = 0.3;
+  spec.AddNamedDataset("Syn-RP");
+  spec.AddNamedDataset("Syn-ST");
+  spec.AddMethod(MakeDttMethod());
+  spec.AddMethod(std::make_unique<CstJoinMethod>());
+  if (with_noise) {
+    spec.mutate_examples = [](std::vector<ExamplePair>* ex, Rng* rng) {
+      AddExampleNoise(ex, 0.4, rng);
+    };
+  }
+  return spec;
+}
+
+TEST(EvalRunnerTest, ShardedMatchesSerialAcrossWorkerCounts) {
+  GridResult serial = ExperimentRunner(RunnerOptions{1}).Run(SmallSpec());
+  for (int workers : {2, 8}) {
+    GridResult sharded =
+        ExperimentRunner(RunnerOptions{workers}).Run(SmallSpec());
+    EXPECT_EQ(sharded.num_workers, workers);
+    ExpectSameGrid(serial, sharded);
+  }
+}
+
+TEST(EvalRunnerTest, ShardedMatchesSerialWithExampleNoise) {
+  GridResult serial = ExperimentRunner(RunnerOptions{1}).Run(SmallSpec(true));
+  GridResult sharded =
+      ExperimentRunner(RunnerOptions{8}).Run(SmallSpec(true));
+  ExpectSameGrid(serial, sharded);
+}
+
+TEST(EvalRunnerTest, GridExpansionAndMergeOrdering) {
+  ExperimentSpec spec = SmallSpec();
+  GridResult grid = ExperimentRunner(RunnerOptions{4}).Run(spec);
+
+  // Spec order is preserved on both axes.
+  ASSERT_EQ(grid.datasets, (std::vector<std::string>{"Syn-RP", "Syn-ST"}));
+  ASSERT_EQ(grid.methods, (std::vector<std::string>{"DTT", "CST"}));
+  ASSERT_EQ(grid.evals.size(), 2u);
+  ASSERT_EQ(grid.evals[0].size(), 2u);
+
+  // Every cell landed in its named slot, with per_table in the dataset's
+  // generated table order.
+  size_t expected_cells = 0;
+  for (size_t d = 0; d < grid.datasets.size(); ++d) {
+    Dataset ds = MakeDatasetByName(grid.datasets[d], spec.seed,
+                                   spec.row_scale);
+    expected_cells += ds.tables.size() * grid.methods.size();
+    for (size_t m = 0; m < grid.methods.size(); ++m) {
+      const DatasetEval& eval = grid.evals[d][m];
+      EXPECT_EQ(eval.dataset, grid.datasets[d]);
+      EXPECT_EQ(eval.method, grid.methods[m]);
+      ASSERT_EQ(eval.per_table.size(), ds.tables.size());
+      for (size_t t = 0; t < ds.tables.size(); ++t) {
+        EXPECT_EQ(eval.per_table[t].table, ds.tables[t].name);
+      }
+      EXPECT_EQ(&grid.Eval(grid.datasets[d], grid.methods[m]), &eval);
+    }
+  }
+  EXPECT_EQ(grid.num_cells, expected_cells);
+}
+
+TEST(EvalRunnerTest, EvaluateOnDatasetIsOneCellOfTheGrid) {
+  Dataset ds = MakeDatasetByName("Syn-RP", /*seed=*/17, /*row_scale=*/0.3);
+  auto method = MakeDttMethod();
+  DatasetEval serial = EvaluateOnDataset(method.get(), ds, /*seed=*/17);
+
+  ExperimentSpec spec;
+  spec.seed = 17;
+  spec.AddDataset(ds);
+  spec.AddMethod(MakeDttMethod());
+  GridResult grid = ExperimentRunner(RunnerOptions{8}).Run(spec);
+  ExpectSameEval(serial, grid.evals[0][0]);
+}
+
+// The satellite regression: table RNG streams derive from
+// (seed, dataset, table name), never loop position, so shuffling the table
+// order permutes per_table but changes no per-table result.
+TEST(EvalRunnerTest, TableOrderInvariance) {
+  Dataset ds = MakeDatasetByName("Syn-ST", /*seed=*/23, /*row_scale=*/0.3);
+  ASSERT_GT(ds.tables.size(), 1u);
+  auto method = MakeDttMethod();
+  DatasetEval in_order = EvaluateOnDataset(method.get(), ds, /*seed=*/5);
+
+  Dataset shuffled = ds;
+  Rng shuffle_rng(99);
+  shuffle_rng.Shuffle(&shuffled.tables);
+  auto method2 = MakeDttMethod();
+  DatasetEval out_of_order = EvaluateOnDataset(method2.get(), shuffled,
+                                               /*seed=*/5);
+
+  // Per-table results match by table name, bit for bit.
+  for (const TableEval& a : in_order.per_table) {
+    bool found = false;
+    for (const TableEval& b : out_of_order.per_table) {
+      if (b.table != a.table) continue;
+      found = true;
+      EXPECT_DOUBLE_EQ(a.join.f1, b.join.f1);
+      EXPECT_DOUBLE_EQ(a.join.precision, b.join.precision);
+      EXPECT_DOUBLE_EQ(a.join.recall, b.join.recall);
+      EXPECT_DOUBLE_EQ(a.pred.aned, b.pred.aned);
+    }
+    EXPECT_TRUE(found) << a.table;
+  }
+  // Macro averages agree up to summation order.
+  EXPECT_NEAR(in_order.join.f1, out_of_order.join.f1, 1e-12);
+  EXPECT_NEAR(in_order.pred.aned, out_of_order.pred.aned, 1e-12);
+}
+
+TEST(EvalRunnerTest, CellSeedsAreKeyDerived) {
+  // Same keys -> same seed; any component change -> different seed.
+  EXPECT_EQ(GridCellSeed(1, "ds", "t"), GridCellSeed(1, "ds", "t"));
+  EXPECT_NE(GridCellSeed(1, "ds", "t"), GridCellSeed(2, "ds", "t"));
+  EXPECT_NE(GridCellSeed(1, "ds", "t"), GridCellSeed(1, "ds2", "t"));
+  EXPECT_NE(GridCellSeed(1, "ds", "t"), GridCellSeed(1, "ds", "t2"));
+  // Order matters (dataset and table do not commute).
+  EXPECT_NE(GridCellSeed(1, "a", "b"), GridCellSeed(1, "b", "a"));
+  // The run stream differs from the split stream and keys on the method.
+  EXPECT_NE(GridCellSeed(1, "ds", "t", "m"), GridCellSeed(1, "ds", "t"));
+  EXPECT_NE(GridCellSeed(1, "ds", "t", "m"), GridCellSeed(1, "ds", "t", "m2"));
+}
+
+// Clone() isolation for the stateful/optioned baselines: clones run
+// concurrently across 8 workers and still reproduce the serial pass.
+TEST(EvalRunnerTest, CloneIsolationForBaselines) {
+  auto build = [] {
+    ExperimentSpec spec;
+    spec.seed = 31;
+    spec.row_scale = 0.25;
+    spec.AddNamedDataset("Syn-RP");
+    spec.AddNamedDataset("KBWT");
+    spec.AddMethod(std::make_unique<CstJoinMethod>());
+    spec.AddMethod(std::make_unique<AfjJoinMethod>());
+    spec.AddMethod(std::make_unique<DittoJoinMethod>());
+    spec.AddMethod(std::make_unique<DataXFormerJoinMethod>(
+        KnowledgeBase::Builtin()->Subsample(0.35, 31)));
+    return spec;
+  };
+  GridResult serial = ExperimentRunner(RunnerOptions{1}).Run(build());
+  GridResult sharded = ExperimentRunner(RunnerOptions{8}).Run(build());
+  ExpectSameGrid(serial, sharded);
+}
+
+TEST(EvalRunnerTest, BundledMethodsAllClone) {
+  CstJoinMethod cst;
+  AfjJoinMethod afj;
+  DittoJoinMethod ditto;
+  DataXFormerJoinMethod dxf(KnowledgeBase::Builtin()->Subsample(0.35, 1));
+  auto dtt = MakeDttMethod();
+  for (JoinMethod* method :
+       std::vector<JoinMethod*>{&cst, &afj, &ditto, &dxf, dtt.get()}) {
+    auto clone = method->Clone();
+    ASSERT_NE(clone, nullptr) << method->name();
+    EXPECT_EQ(clone->name(), method->name());
+  }
+}
+
+// A stateful method without Clone support: the runner must fall back to
+// evaluating its cells serially in canonical order on the one instance, so
+// results still match the fully-serial pass even at 8 workers.
+class CountingMethod : public JoinMethod {
+ public:
+  std::string name() const override { return "counting"; }
+  MethodOutput Run(const TableSplit& split, Rng* rng) override {
+    (void)rng;
+    ++calls_;  // mutable per-instance state; Clone() stays the null default
+    MethodOutput out;
+    // Predictions encode the call index, so any reordering of this
+    // instance's cells shows up as a different ANED on some table.
+    out.predictions.assign(split.test.size(), std::to_string(calls_));
+    out.has_predictions = true;
+    return out;
+  }
+  int calls() const { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(EvalRunnerTest, UncloneableStatefulMethodKeepsCanonicalOrder) {
+  auto run = [](int workers, CountingMethod* counting) {
+    ExperimentSpec spec;
+    spec.seed = 17;
+    spec.row_scale = 0.3;
+    spec.AddNamedDataset("Syn-RP");
+    spec.AddNamedDataset("Syn-ST");
+    spec.AddMethod(counting);
+    spec.AddMethod(std::make_unique<CstJoinMethod>());
+    return ExperimentRunner(RunnerOptions{workers}).Run(spec);
+  };
+  CountingMethod serial_counting;
+  GridResult serial = run(1, &serial_counting);
+  CountingMethod sharded_counting;
+  GridResult sharded = run(8, &sharded_counting);
+  EXPECT_EQ(serial_counting.calls(), sharded_counting.calls());
+  EXPECT_GT(serial_counting.calls(), 1);
+  ExpectSameGrid(serial, sharded);
+}
+
+TEST(EvalRunnerTest, MethodFactoryBuildsFreshInstancesPerCell) {
+  auto build = [](int workers) {
+    ExperimentSpec spec;
+    spec.seed = 17;
+    spec.row_scale = 0.3;
+    spec.AddNamedDataset("Syn-RP");
+    spec.AddMethod("CST", [] { return std::make_unique<CstJoinMethod>(); });
+    return ExperimentRunner(RunnerOptions{workers}).Run(spec);
+  };
+  ExpectSameGrid(build(1), build(4));
+}
+
+TEST(EvalRunnerTest, EvalWorkersFromEnv) {
+  unsetenv("DTT_EVAL_WORKERS");
+  EXPECT_EQ(EvalWorkersFromEnv(3), 3);
+  setenv("DTT_EVAL_WORKERS", "8", 1);
+  EXPECT_EQ(EvalWorkersFromEnv(3), 8);
+  setenv("DTT_EVAL_WORKERS", "garbage", 1);
+  EXPECT_EQ(EvalWorkersFromEnv(3), 3);
+  unsetenv("DTT_EVAL_WORKERS");
+}
+
+}  // namespace
+}  // namespace dtt
