@@ -12,6 +12,7 @@
 #include "models/alignment.h"
 #include "nn/trainer.h"
 #include "text/serializer.h"
+#include "text/vocab.h"
 #include "transform/sampler.h"
 #include "util/edit_distance.h"
 
@@ -183,6 +184,50 @@ void BM_GenerateBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GenerateBatch)->Arg(1)->Arg(8);
+
+// Distinct prompts for the beam benchmarks: identical ones would collapse
+// onto one encoder pass via the engine's prompt dedup and overstate the win.
+std::vector<std::vector<int>> BeamBenchPrompts(int count) {
+  Rng rng(15);
+  std::vector<std::vector<int>> prompts(static_cast<size_t>(count));
+  for (auto& p : prompts) {
+    p.resize(48);
+    for (auto& id : p) {
+      id = Vocab::ByteToken(static_cast<uint8_t>(rng.NextBounded(256)));
+    }
+  }
+  return prompts;
+}
+
+// The legacy per-prompt beam search (autograd graph per hypothesis per
+// step); the comparison leg for BM_BeamDecodeBatch at the same beam width.
+void BM_BeamDecode(benchmark::State& state) {
+  Rng rng(16);
+  nn::Transformer model(BenchConfig(), &rng);
+  const auto prompts = BeamBenchPrompts(8);
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (const auto& prompt : prompts) {
+      benchmark::DoNotOptimize(model.BeamDecode(prompt, 12, width));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(prompts.size()));
+}
+BENCHMARK(BM_BeamDecode)->Arg(4);
+
+void BM_BeamDecodeBatch(benchmark::State& state) {
+  Rng rng(16);
+  nn::Transformer model(BenchConfig(), &rng);
+  const auto prompts = BeamBenchPrompts(8);
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.BeamDecodeBatch(prompts, 12, width));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(prompts.size()));
+}
+BENCHMARK(BM_BeamDecodeBatch)->Arg(1)->Arg(4);
 
 /// Console output plus collection of every run for the JSON document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {

@@ -9,7 +9,10 @@
 //      multi-threaded pipeline (rows/sec and speedup);
 //  (e) dataset-grid sharding: the whole benchmark grid through the
 //      ExperimentRunner, serial vs 4 workers — identical DatasetEvals,
-//      ROADMAP's "table sharding" wall-clock win.
+//      ROADMAP's "table sharding" wall-clock win;
+//  (f) beam-decode throughput: the legacy per-prompt autograd BeamDecode vs
+//      the batched KV-cache BeamDecodeBatch at beam width 4 (bit-exact, so
+//      the delta is pure throughput; target >= 2x).
 // Absolute numbers differ (different hardware and model substrate); the
 // claim reproduced is the GROWTH: DTT scales roughly linearly with length
 // and rows, CST polynomially with length and quadratically with rows.
@@ -25,6 +28,7 @@
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "models/neural_model.h"
+#include "text/tokenizer.h"
 #include "util/stopwatch.h"
 
 namespace dtt {
@@ -136,6 +140,74 @@ void NeuralThroughput(uint64_t seed, bench::BenchJsonReporter* report) {
                                 : 0.0;
   std::printf("batched+threaded speedup over serial: %.2fx\n", speedup);
   report->AddRun("neural_speedup").Set("speedup", speedup);
+}
+
+/// (f): beam search on the same untrained byte-level transformer, once per
+/// prompt on the legacy autograd path and once through the batched KV-cache
+/// engine. The outputs are asserted identical, so the speedup is pure
+/// throughput — the beam-search analogue of section (d).
+void BeamThroughput(uint64_t seed, bench::BenchJsonReporter* report) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 48;
+  cfg.num_heads = 4;
+  cfg.ff_hidden = 96;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 160;
+  Rng init_rng(seed);
+  nn::Transformer model(cfg, &init_rng);
+  constexpr int kBeamWidth = 4;
+  constexpr int kMaxSteps = 12;
+  Rng data_rng(seed + 3);
+  ByteTokenizer tokenizer;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < 16; ++i) {
+    prompts.push_back(tokenizer.Encode(ThroughputSource(&data_rng), false));
+  }
+
+  Stopwatch legacy_timer;
+  std::vector<std::vector<int>> legacy;
+  for (const auto& prompt : prompts) {
+    legacy.push_back(model.BeamDecode(prompt, kMaxSteps, kBeamWidth));
+  }
+  const double legacy_seconds = legacy_timer.Seconds();
+  Stopwatch batched_timer;
+  std::vector<std::vector<int>> batched =
+      model.BeamDecodeBatch(prompts, kMaxSteps, kBeamWidth);
+  const double batched_seconds = batched_timer.Seconds();
+  const bool identical = batched == legacy;
+
+  const double legacy_rate =
+      legacy_seconds > 0.0 ? prompts.size() / legacy_seconds : 0.0;
+  const double batched_rate =
+      batched_seconds > 0.0 ? prompts.size() / batched_seconds : 0.0;
+  const double speedup =
+      batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0;
+  TablePrinter table({"path", "beam", "prompts", "s", "prompts/s"});
+  table.AddRow({"legacy per-prompt", std::to_string(kBeamWidth),
+                std::to_string(prompts.size()),
+                TablePrinter::Num(legacy_seconds, 3),
+                TablePrinter::Num(legacy_rate, 2)});
+  table.AddRow({"batched KV-cache", std::to_string(kBeamWidth),
+                std::to_string(prompts.size()),
+                TablePrinter::Num(batched_seconds, 3),
+                TablePrinter::Num(batched_rate, 2)});
+  table.Print();
+  std::printf("outputs bit-identical: %s\n", identical ? "yes" : "NO (BUG)");
+  std::printf("batched beam speedup at width %d: %.2fx (target >= 2x)\n",
+              kBeamWidth, speedup);
+  report->AddRun("beam_legacy")
+      .Set("seconds", legacy_seconds)
+      .Set("prompts", static_cast<int64_t>(prompts.size()))
+      .Set("beam_width", kBeamWidth)
+      .Set("prompts_per_sec", legacy_rate);
+  report->AddRun("beam_batched")
+      .Set("seconds", batched_seconds)
+      .Set("prompts", static_cast<int64_t>(prompts.size()))
+      .Set("beam_width", kBeamWidth)
+      .Set("prompts_per_sec", batched_rate);
+  report->AddRun("beam_speedup").Set("speedup", speedup).Set("identical",
+                                                             identical);
 }
 
 /// (e): the full benchmark grid (all seven datasets × the four Table 1
@@ -296,6 +368,9 @@ int Main() {
 
   PrintBanner("(e) dataset-grid sharding: serial vs 4-worker runner");
   GridSharding(ctx, &ctx.report);
+
+  PrintBanner("(f) beam decode: legacy per-prompt vs batched KV-cache");
+  BeamThroughput(ctx.seed, &ctx.report);
 
   std::printf(
       "\nShape check vs §5.5: the CST column grows much faster than the DTT "

@@ -26,9 +26,13 @@ struct PipelineOptions {
   /// Prompts per TransformBatch dispatch in TransformAll. 1 forces the
   /// per-prompt Transform path (the original serial behaviour).
   int batch_size = 16;
-  /// Worker threads TransformAll shards prompt batches across. Only honored
-  /// when every attached model reports thread_safe(); predictions are
-  /// identical for any thread count.
+  /// Worker threads TransformAll shards prompt batches across. The
+  /// serve-backed TransformAll gates per backend: thread-safe models share
+  /// the pool while stateful ones run their batches serially on their own
+  /// scheduler thread. (The retained TransformAllFixedBatch reference keeps
+  /// the pre-serve all-or-nothing rule: threads only when every attached
+  /// model is thread_safe().) Predictions are identical for any thread
+  /// count either way.
   int num_threads = 1;
 };
 

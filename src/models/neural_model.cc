@@ -18,19 +18,21 @@ Result<std::string> NeuralSeq2SeqModel::Transform(const Prompt& prompt) {
     return Status::OutOfRange("serialized prompt exceeds the model's input "
                               "length limit");
   }
+  // Both decodes run on the graph-free incremental engine; the batched beam
+  // path with a single prompt is bit-exact with the legacy per-prompt
+  // BeamDecode (nn_beam_test) and avoids its per-hypothesis graph rebuilds.
   std::vector<int> out =
       options_.beam_size > 1
-          ? model_->BeamDecode(input_ids, options_.max_output_tokens,
-                               options_.beam_size)
+          ? model_->BeamDecodeBatch({input_ids}, options_.max_output_tokens,
+                                    options_.beam_size)[0]
           : model_->GreedyDecode(input_ids, options_.max_output_tokens);
   return tokenizer_.Decode(out);
 }
 
 std::vector<Result<std::string>> NeuralSeq2SeqModel::TransformBatch(
     const std::vector<Prompt>& prompts) {
-  // Beam search has no batched path, and a batch of one gains nothing over
-  // the single-sequence decode.
-  if (options_.beam_size > 1 || prompts.size() <= 1) {
+  // A batch of one gains nothing over the single-sequence decode.
+  if (prompts.size() <= 1) {
     return TextToTextModel::TransformBatch(prompts);
   }
   std::vector<Result<std::string>> results(
@@ -54,7 +56,10 @@ std::vector<Result<std::string>> NeuralSeq2SeqModel::TransformBatch(
   }
   if (!batch_ids.empty()) {
     std::vector<std::vector<int>> outs =
-        model_->GenerateBatch(batch_ids, options_.max_output_tokens);
+        options_.beam_size > 1
+            ? model_->BeamDecodeBatch(batch_ids, options_.max_output_tokens,
+                                      options_.beam_size)
+            : model_->GenerateBatch(batch_ids, options_.max_output_tokens);
     for (size_t j = 0; j < batch_slots.size(); ++j) {
       results[batch_slots[j]] = tokenizer_.Decode(outs[j]);
     }

@@ -31,10 +31,11 @@ class NeuralSeq2SeqModel : public TextToTextModel {
   std::string name() const override { return "dtt-neural"; }
   Result<std::string> Transform(const Prompt& prompt) override;
 
-  /// Batched greedy decode: valid prompts run through one lockstep
-  /// Transformer::GenerateBatch call (bit-exact with per-prompt Transform);
-  /// invalid prompts keep their per-prompt error. Beam search (beam_size > 1)
-  /// falls back to the per-prompt loop.
+  /// Batched decode: valid prompts run through one lockstep decoder call —
+  /// Transformer::GenerateBatch when greedy, Transformer::BeamDecodeBatch
+  /// when beam_size > 1 — so beam requests micro-batch exactly like greedy
+  /// ones (bit-exact with per-prompt Transform); invalid prompts keep their
+  /// per-prompt error.
   std::vector<Result<std::string>> TransformBatch(
       const std::vector<Prompt>& prompts) override;
 

@@ -4,15 +4,17 @@
 // and decodes incrementally: each step feeds only the newly generated token
 // through the decoder, attending over per-layer key/value caches (self-
 // attention) and the once-projected encoder memory (cross-attention). The
-// arithmetic mirrors the autograd ops operation-for-operation — same GEMM
-// kernels (nn/gemm.h), same accumulation order — so the generated tokens are
-// bit-exact with the per-sequence GreedyDecode (enforced by nn_batch_test).
+// row-wise kernels live in nn/infer_internal.h (shared with the beam engine
+// in nn/beam.cc); they mirror the autograd ops operation-for-operation —
+// same GEMM kernels (nn/gemm.h), same accumulation order — so the generated
+// tokens are bit-exact with the per-sequence GreedyDecode (enforced by
+// nn_batch_test).
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
 
-#include "nn/gemm.h"
+#include "nn/infer_internal.h"
 #include "nn/transformer.h"
 #include "text/vocab.h"
 
@@ -21,49 +23,9 @@ namespace nn {
 
 namespace {
 
-// out[rows, out_dim] = x[rows, in_dim] @ W + b, matching Linear::Forward
-// (full GEMM first, bias added after).
-void AffineRows(const Tensor& x, const Linear& lin, Tensor* out) {
-  const int rows = x.rows();
-  const int in_dim = x.cols();
-  const Tensor& w = lin.weight_value();
-  const Tensor& b = lin.bias_value();
-  const int out_dim = w.cols();
-  assert(w.rows() == in_dim);
-  *out = Tensor({rows, out_dim});
-  internal::GemmAcc(x.data(), w.data(), out->data(), rows, in_dim, out_dim);
-  for (int i = 0; i < rows; ++i) {
-    float* row = out->data() + static_cast<size_t>(i) * out_dim;
-    for (int j = 0; j < out_dim; ++j) row[j] += b.at(j);
-  }
-}
-
-// Row-wise layer norm matching LayerNormOp.
-void LayerNormRows(const Tensor& x, const LayerNorm& ln, Tensor* out) {
-  const int rows = x.rows();
-  const int d = x.cols();
-  const Tensor& gamma = ln.gamma_value();
-  const Tensor& beta = ln.beta_value();
-  constexpr float kEps = 1e-5f;
-  *out = Tensor({rows, d});
-  for (int i = 0; i < rows; ++i) {
-    const float* row = x.data() + static_cast<size_t>(i) * d;
-    float* orow = out->data() + static_cast<size_t>(i) * d;
-    float mean = 0.0f;
-    for (int j = 0; j < d; ++j) mean += row[j];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int j = 0; j < d; ++j) {
-      float c = row[j] - mean;
-      var += c * c;
-    }
-    var /= static_cast<float>(d);
-    float istd = 1.0f / std::sqrt(var + kEps);
-    for (int j = 0; j < d; ++j) {
-      orow[j] = gamma.at(j) * ((row[j] - mean) * istd) + beta.at(j);
-    }
-  }
-}
+using internal::AffineRows;
+using internal::AttendRows;
+using internal::LayerNormRows;
 
 // One decoder layer's incremental state: self-attention K/V per generated
 // position, cross-attention K/V of the encoder memory (projected once).
@@ -73,58 +35,6 @@ struct LayerState {
   Tensor cross_k;  // [B*Tm, D]
   Tensor cross_v;  // [B*Tm, D]
 };
-
-// Multi-head attention of one new query row per sequence over cached keys
-// and values. `keys`/`values` rows for sequence b start at b*stride; the
-// attended positions are kv_begin..kv_begin+kv_len(b)-1. Writes the merged
-// head outputs (pre-W_o) into ctx [B, D].
-void AttendRows(const Tensor& q, const MultiHeadAttention& attn,
-                const float* keys, const float* values, size_t stride,
-                const std::vector<int>& kv_lens, Tensor* ctx,
-                std::vector<float>* scores_buf) {
-  const int batch = q.rows();
-  const int d = q.cols();
-  const int num_heads = attn.num_heads();
-  const int dh = attn.head_dim();
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-  *ctx = Tensor({batch, d});
-  for (int b = 0; b < batch; ++b) {
-    const int kv_len = kv_lens[static_cast<size_t>(b)];
-    const float* qrow = q.data() + static_cast<size_t>(b) * d;
-    const float* krows = keys + static_cast<size_t>(b) * stride;
-    const float* vrows = values + static_cast<size_t>(b) * stride;
-    float* crow = ctx->data() + static_cast<size_t>(b) * d;
-    scores_buf->resize(static_cast<size_t>(kv_len));
-    for (int h = 0; h < num_heads; ++h) {
-      const int off = h * dh;
-      // Scaled dot-product scores over the cached positions, then a stable
-      // softmax — the same max/exp/normalize order as the Softmax op.
-      float* scores = scores_buf->data();
-      for (int j = 0; j < kv_len; ++j) {
-        const float* krow = krows + static_cast<size_t>(j) * d + off;
-        float dot = 0.0f;
-        for (int p = 0; p < dh; ++p) dot += qrow[off + p] * krow[p];
-        scores[j] = dot * scale;
-      }
-      float mx = scores[0];
-      for (int j = 1; j < kv_len; ++j) mx = std::max(mx, scores[j]);
-      float sum = 0.0f;
-      for (int j = 0; j < kv_len; ++j) {
-        scores[j] = std::exp(scores[j] - mx);
-        sum += scores[j];
-      }
-      const float inv = 1.0f / sum;
-      for (int j = 0; j < kv_len; ++j) scores[j] *= inv;
-      // Weighted value sum; skip exact zeros like GemmAcc does.
-      for (int j = 0; j < kv_len; ++j) {
-        const float a = scores[j];
-        if (a == 0.0f) continue;
-        const float* vrow = vrows + static_cast<size_t>(j) * d + off;
-        for (int p = 0; p < dh; ++p) crow[off + p] += a * vrow[p];
-      }
-    }
-  }
-}
 
 }  // namespace
 
@@ -151,6 +61,17 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
     const MultiHeadAttention& cross = decoder_[l]->cross_attn();
     AffineRows(memory, cross.wk(), &layers[l].cross_k);
     AffineRows(memory, cross.wv(), &layers[l].cross_v);
+  }
+
+  // Every sequence owns one fixed cache slot, so the per-row base offsets
+  // into the self and cross caches never change across steps.
+  const size_t self_stride = static_cast<size_t>(cap) * d;
+  std::vector<size_t> self_bases(static_cast<size_t>(batch));
+  std::vector<size_t> cross_bases(static_cast<size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    self_bases[static_cast<size_t>(b)] = static_cast<size_t>(b) * self_stride;
+    cross_bases[static_cast<size_t>(b)] =
+        static_cast<size_t>(b) * mem_len * static_cast<size_t>(d);
   }
 
   std::vector<std::vector<int>> generated(static_cast<size_t>(batch));
@@ -181,11 +102,10 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
       AffineRows(n, layer.self_attn().wq(), &q);
       AffineRows(n, layer.self_attn().wk(), &k);
       AffineRows(n, layer.self_attn().wv(), &v);
-      const size_t stride = static_cast<size_t>(cap) * d;
       for (int b = 0; b < batch; ++b) {
-        float* kdst = state.self_k.data() + b * stride +
+        float* kdst = state.self_k.data() + b * self_stride +
                       static_cast<size_t>(step) * d;
-        float* vdst = state.self_v.data() + b * stride +
+        float* vdst = state.self_v.data() + b * self_stride +
                       static_cast<size_t>(step) * d;
         const float* krow = k.data() + static_cast<size_t>(b) * d;
         const float* vrow = v.data() + static_cast<size_t>(b) * d;
@@ -195,7 +115,8 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
         }
       }
       AttendRows(q, layer.self_attn(), state.self_k.data(),
-                 state.self_v.data(), stride, self_lens, &ctx, &scores_buf);
+                 state.self_v.data(), self_bases, self_lens, &ctx,
+                 &scores_buf);
       AffineRows(ctx, layer.self_attn().wo(), &attn_out);
       h1 = x;
       h1.AddInPlace(attn_out);
@@ -203,8 +124,8 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
       LayerNormRows(h1, layer.ln2(), &n);
       AffineRows(n, layer.cross_attn().wq(), &q);
       AttendRows(q, layer.cross_attn(), state.cross_k.data(),
-                 state.cross_v.data(), static_cast<size_t>(mem_len) * d,
-                 enc.lengths, &ctx, &scores_buf);
+                 state.cross_v.data(), cross_bases, enc.lengths, &ctx,
+                 &scores_buf);
       AffineRows(ctx, layer.cross_attn().wo(), &attn_out);
       h2 = h1;
       h2.AddInPlace(attn_out);

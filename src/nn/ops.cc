@@ -175,6 +175,11 @@ Var Gelu(const Var& x) {
   });
 }
 
+// Contract relied on by the graph-free decoders (nn/infer_internal.h): the
+// max/exp/normalize order below is mirrored exactly by AttendRows, and a
+// -1e9 additive mask drives exp() to an exact float 0, which the zero-
+// skipping GEMMs then drop — so masked batched attention is bit-identical
+// to unmasked attention over only the valid positions.
 Var Softmax(const Var& x) {
   const Tensor& in = x.value();
   const int rows = in.rank() == 2 ? in.rows() : 1;

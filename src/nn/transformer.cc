@@ -262,10 +262,16 @@ std::vector<int> Transformer::GreedyDecode(const std::vector<int>& input_ids,
   return generated;
 }
 
-// Transformer::GenerateBatch lives in nn/infer.cc: it runs a graph-free
+// Transformer::GenerateBatch lives in nn/infer.cc and
+// Transformer::BeamDecodeBatch in nn/beam.cc: both run the graph-free
 // incremental decoder with per-layer KV caches rather than re-running the
 // autograd forward over the whole prefix at every step.
 
+// The legacy per-prompt beam search. Kept verbatim as the acceptance oracle
+// for the batched engine: nn_beam_test asserts BeamDecodeBatch reproduces
+// this function's output bit-for-bit, which only holds while the scoring
+// arithmetic below (float log-softmax reads, double score sums, the exact
+// partial_sort/sort calls) stays untouched.
 std::vector<int> Transformer::BeamDecode(const std::vector<int>& input_ids,
                                          int max_steps, int beam_size) const {
   struct Hyp {

@@ -135,8 +135,24 @@ class Transformer : public Module {
       const std::vector<std::vector<int>>& input_ids, int max_steps) const;
 
   /// Beam-search decoding (beam = `beam_size`); returns the best hypothesis.
+  /// The legacy per-prompt path: rebuilds the autograd graph over every
+  /// hypothesis's whole prefix at each step. Retained as the bit-exactness
+  /// oracle for BeamDecodeBatch (nn_beam_test); production callers use the
+  /// batched engine.
   std::vector<int> BeamDecode(const std::vector<int>& input_ids, int max_steps,
                               int beam_size) const;
+
+  /// Batched beam search on the graph-free incremental decoder: encodes all
+  /// prompts once (identical prompts share one encoder pass and one
+  /// cross-attention projection), then advances every live hypothesis of
+  /// every prompt in lockstep with per-hypothesis self-attention KV caches,
+  /// gathered by parent beam index after each prune/rerank. Returns the best
+  /// hypothesis per prompt, bit-exact with per-prompt BeamDecode for any
+  /// beam width >= 1 and mix of prompt lengths. beam_size < 1 is treated
+  /// as 1.
+  std::vector<std::vector<int>> BeamDecodeBatch(
+      const std::vector<std::vector<int>>& input_ids, int max_steps,
+      int beam_size) const;
 
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;

@@ -105,7 +105,10 @@ struct ServiceStats {
 ///     coalesces pending prompts into batches of up to max_batch, waiting at
 ///     most max_wait_ms for a partial batch to fill; batches of thread-safe
 ///     backends are dispatched on a shared util/thread_pool, so fast and
-///     slow backends overlap.
+///     slow backends overlap. Batches go through TransformBatch, so a
+///     neural backend decodes the whole batch in lockstep — greedy via
+///     GenerateBatch, beam (beam_size > 1) via BeamDecodeBatch — and beam
+///     requests micro-batch exactly like greedy ones.
 ///   * A sharded LRU cache keyed by the exact serialized prompt sits in
 ///     front of model calls: identical prompts across trials, rows and
 ///     requests reuse the first decode (prompt-level KV reuse). In-flight

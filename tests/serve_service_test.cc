@@ -11,6 +11,7 @@
 
 #include "core/pipeline.h"
 #include "models/knowledge_lm.h"
+#include "models/neural_model.h"
 #include "models/pattern_induction.h"
 
 namespace dtt {
@@ -161,6 +162,59 @@ TEST(ServeServiceTest, PipelineTransformAllMatchesFixedBatch) {
           << "row " << r << " batch " << batch_size << " threads "
           << num_threads;
       EXPECT_EQ(served[r].support, fixed[r].support) << "row " << r;
+    }
+  }
+}
+
+// Beam-decoded backends micro-batch exactly like greedy ones: a beam_size>1
+// NeuralSeq2SeqModel served through the micro-batch schedulers (batched
+// Transformer::BeamDecodeBatch dispatches) must stay bit-identical to the
+// fixed-batch reference for any batch size or thread count.
+TEST(ServeServiceTest, BeamBackendDeterministicAcrossConfigs) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 128;
+  Rng init_rng(515);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 8;
+  nopts.beam_size = 2;
+  auto model = std::make_shared<NeuralSeq2SeqModel>(
+      transformer, Serializer(sopts), nopts);
+
+  const auto examples = NameExamples();
+  const auto sources = NameSources();
+  std::vector<std::string> reference;
+  for (const auto& [batch_size, num_threads] :
+       std::vector<std::pair<int, int>>{{1, 1}, {8, 1}, {8, 4}}) {
+    PipelineOptions opts;
+    opts.decomposer.num_trials = 3;
+    opts.serializer = sopts;
+    opts.batch_size = batch_size;
+    opts.num_threads = num_threads;
+    DttPipeline pipeline(model, opts);
+    Rng rng_fixed(515);
+    Rng rng_serve(515);
+    const auto fixed =
+        pipeline.TransformAllFixedBatch(sources, examples, &rng_fixed);
+    const auto served = pipeline.TransformAll(sources, examples, &rng_serve);
+    ASSERT_EQ(served.size(), sources.size());
+    if (reference.empty()) {
+      for (const auto& row : served) reference.push_back(row.prediction);
+    }
+    for (size_t r = 0; r < served.size(); ++r) {
+      EXPECT_EQ(served[r].prediction, fixed[r].prediction)
+          << "row " << r << " batch " << batch_size << " threads "
+          << num_threads;
+      EXPECT_EQ(served[r].prediction, reference[r])
+          << "row " << r << " batch " << batch_size << " threads "
+          << num_threads;
     }
   }
 }

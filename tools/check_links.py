@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown files.
+
+Scans README.md and docs/**/*.md for inline markdown links/images
+([text](target)) and checks that every relative target resolves to an
+existing file or directory (anchors and URL schemes are skipped; an
+anchor-only link like (#section) is always accepted). Registered as the
+`docs.link_check` ctest and run as a CI step, so README/docs can't drift
+into dead cross-references.
+
+Usage: check_links.py [repo_root]     (default: the parent of tools/)
+Exit codes: 0 = all links resolve, 1 = dead links (listed on stderr),
+2 = no markdown files found (miswired invocation).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links and images: [text](target) / ![alt](target). Targets with
+# spaces or parentheses don't occur in this repo; the regex stops at the
+# first ')' or whitespace, which also strips optional '"title"' suffixes.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]  # drop an anchor suffix
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{md.relative_to(root)}: dead link -> {target}"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else
+                Path(__file__).resolve().parent.parent).resolve()
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.is_file()]
+    if not files:
+        print(f"check_links: no markdown files under {root}", file=sys.stderr)
+        return 2
+    errors = []
+    for md in files:
+        errors += check_file(md, root)
+    for error in errors:
+        print(f"check_links: {error}", file=sys.stderr)
+    print(f"check_links: {len(files)} files checked, "
+          f"{len(errors)} dead links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
