@@ -10,6 +10,7 @@
 #include "core/aggregator.h"
 #include "core/joiner.h"
 #include "models/alignment.h"
+#include "nn/kernel_provider.h"
 #include "nn/trainer.h"
 #include "text/serializer.h"
 #include "text/vocab.h"
@@ -108,6 +109,21 @@ void BM_Join(benchmark::State& state) {
 }
 BENCHMARK(BM_Join)->Range(8, 128)->Complexity(benchmark::oNSquared);
 
+// Activates a kernel provider for one benchmark body and restores the
+// previous selection after (the neural benches are parameterized per
+// provider via BENCHMARK_CAPTURE: "BM_GenerateBatch/vec_f32/8").
+class ProviderScope {
+ public:
+  explicit ProviderScope(const char* name)
+      : previous_(nn::ActiveKernelProvider().name()) {
+    nn::SetActiveKernelProvider(name);
+  }
+  ~ProviderScope() { nn::SetActiveKernelProvider(previous_); }
+
+ private:
+  std::string previous_;
+};
+
 nn::TransformerConfig BenchConfig() {
   nn::TransformerConfig cfg;
   cfg.dim = 48;
@@ -148,7 +164,8 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep);
 
-void BM_BatchTrainStep(benchmark::State& state) {
+void BM_BatchTrainStep(benchmark::State& state, const char* provider) {
+  ProviderScope scope(provider);
   Rng rng(13);
   nn::Transformer model(BenchConfig(), &rng);
   SerializerOptions sopts;
@@ -170,9 +187,12 @@ void BM_BatchTrainStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_BatchTrainStep)->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_BatchTrainStep, scalar, "scalar")->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_BatchTrainStep, vec_f32, "vec_f32")->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_BatchTrainStep, int8, "int8")->Arg(4)->Arg(16);
 
-void BM_GenerateBatch(benchmark::State& state) {
+void BM_GenerateBatch(benchmark::State& state, const char* provider) {
+  ProviderScope scope(provider);
   Rng rng(14);
   nn::Transformer model(BenchConfig(), &rng);
   std::vector<std::vector<int>> inputs(
@@ -183,7 +203,9 @@ void BM_GenerateBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_GenerateBatch)->Arg(1)->Arg(8);
+BENCHMARK_CAPTURE(BM_GenerateBatch, scalar, "scalar")->Arg(1)->Arg(8);
+BENCHMARK_CAPTURE(BM_GenerateBatch, vec_f32, "vec_f32")->Arg(1)->Arg(8);
+BENCHMARK_CAPTURE(BM_GenerateBatch, int8, "int8")->Arg(1)->Arg(8);
 
 // Distinct prompts for the beam benchmarks: identical ones would collapse
 // onto one encoder pass via the engine's prompt dedup and overstate the win.
@@ -216,7 +238,8 @@ void BM_BeamDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_BeamDecode)->Arg(4);
 
-void BM_BeamDecodeBatch(benchmark::State& state) {
+void BM_BeamDecodeBatch(benchmark::State& state, const char* provider) {
+  ProviderScope scope(provider);
   Rng rng(16);
   nn::Transformer model(BenchConfig(), &rng);
   const auto prompts = BeamBenchPrompts(8);
@@ -227,7 +250,9 @@ void BM_BeamDecodeBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(prompts.size()));
 }
-BENCHMARK(BM_BeamDecodeBatch)->Arg(1)->Arg(4);
+BENCHMARK_CAPTURE(BM_BeamDecodeBatch, scalar, "scalar")->Arg(1)->Arg(4);
+BENCHMARK_CAPTURE(BM_BeamDecodeBatch, vec_f32, "vec_f32")->Arg(1)->Arg(4);
+BENCHMARK_CAPTURE(BM_BeamDecodeBatch, int8, "int8")->Arg(1)->Arg(4);
 
 /// Console output plus collection of every run for the JSON document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {

@@ -1,8 +1,10 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 
+#include "nn/kernel_provider.h"
 #include "serve/service.h"
 #include "util/thread_pool.h"
 
@@ -12,7 +14,15 @@ DttPipeline::DttPipeline(std::vector<std::shared_ptr<TextToTextModel>> models,
                          PipelineOptions options)
     : models_(std::move(models)),
       options_(options),
-      decomposer_(options.decomposer) {}
+      decomposer_(options.decomposer) {
+  if (!options_.kernel_provider.empty()) {
+    Status st = nn::SetActiveKernelProvider(options_.kernel_provider);
+    if (!st.ok()) {
+      std::fprintf(stderr, "dtt: PipelineOptions.kernel_provider: %s\n",
+                   st.message().c_str());
+    }
+  }
+}
 
 DttPipeline::DttPipeline(std::shared_ptr<TextToTextModel> model,
                          PipelineOptions options)

@@ -2,6 +2,7 @@
 #define DTT_CORE_PIPELINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/aggregator.h"
@@ -34,6 +35,12 @@ struct PipelineOptions {
   /// model is thread_safe().) Predictions are identical for any thread
   /// count either way.
   int num_threads = 1;
+  /// Kernel provider for every GEMM under this pipeline ("scalar",
+  /// "vec_f32", "int8" — see nn/kernel_provider.h). Empty keeps the
+  /// process-wide selection (DTT_KERNEL_PROVIDER env or default scalar).
+  /// Applied via SetActiveKernelProvider at pipeline construction: the
+  /// selection is process-global, not scoped to this pipeline's calls.
+  std::string kernel_provider;
 };
 
 /// The DTT framework of Figure 2: decomposer + serializer + model(s) +

@@ -71,6 +71,8 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
   std::vector<std::vector<int>> out(input_ids.size());
   if (num_prompts == 0 || max_steps <= 0) return out;
   const int width = std::max(1, beam_size);
+  // One provider for the whole decode (see GenerateBatch).
+  const KernelProvider& kp = ActiveKernelProvider();
 
   // Deduplicate prompts: identical token sequences (e.g. repeated trials of
   // one context) share a single encoder pass and cross-attention projection.
@@ -103,8 +105,8 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
       layers[l].self_v[buf] = Tensor({slots, cap, d});
     }
     const MultiHeadAttention& cross = decoder_[l]->cross_attn();
-    AffineRows(memory, cross.wk(), &layers[l].cross_k);
-    AffineRows(memory, cross.wv(), &layers[l].cross_v);
+    AffineRows(kp, memory, cross.wk(), &layers[l].cross_k);
+    AffineRows(kp, memory, cross.wv(), &layers[l].cross_v);
   }
   int front = 0;  // index of the buffer holding the live caches
 
@@ -169,9 +171,9 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
       Tensor& self_v = state.self_v[front];
       // Self-attention over the cached prefix (positions 0..step).
       LayerNormRows(x, layer.ln1(), &n);
-      AffineRows(n, layer.self_attn().wq(), &q);
-      AffineRows(n, layer.self_attn().wk(), &k);
-      AffineRows(n, layer.self_attn().wv(), &v);
+      AffineRows(kp, n, layer.self_attn().wq(), &q);
+      AffineRows(kp, n, layer.self_attn().wk(), &k);
+      AffineRows(kp, n, layer.self_attn().wv(), &v);
       for (int r = 0; r < rows; ++r) {
         float* kdst = self_k.data() + self_bases[static_cast<size_t>(r)] +
                       static_cast<size_t>(step) * d;
@@ -184,31 +186,31 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
       }
       AttendRows(q, layer.self_attn(), self_k.data(), self_v.data(),
                  self_bases, self_lens, &ctx, &scores_buf);
-      AffineRows(ctx, layer.self_attn().wo(), &attn_out);
+      AffineRows(kp, ctx, layer.self_attn().wo(), &attn_out);
       h1 = x;
       h1.AddInPlace(attn_out);
       // Cross-attention over the shared encoder memory of this prompt.
       LayerNormRows(h1, layer.ln2(), &n);
-      AffineRows(n, layer.cross_attn().wq(), &q);
+      AffineRows(kp, n, layer.cross_attn().wq(), &q);
       AttendRows(q, layer.cross_attn(), state.cross_k.data(),
                  state.cross_v.data(), cross_bases, cross_lens, &ctx,
                  &scores_buf);
-      AffineRows(ctx, layer.cross_attn().wo(), &attn_out);
+      AffineRows(kp, ctx, layer.cross_attn().wo(), &attn_out);
       h2 = h1;
       h2.AddInPlace(attn_out);
       // Position-wise feed-forward.
       LayerNormRows(h2, layer.ln3(), &n);
-      AffineRows(n, layer.ff().in_linear(), &ff_mid);
+      AffineRows(kp, n, layer.ff().in_linear(), &ff_mid);
       for (size_t i = 0; i < ff_mid.size(); ++i) {
         if (ff_mid.data()[i] < 0.0f) ff_mid.data()[i] = 0.0f;
       }
-      AffineRows(ff_mid, layer.ff().out_linear(), &ff_out);
+      AffineRows(kp, ff_mid, layer.ff().out_linear(), &ff_out);
       x = h2;
       x.AddInPlace(ff_out);
     }
 
     LayerNormRows(x, final_ln_, &n);
-    AffineRows(n, lm_head_, &logits);  // [rows, V]
+    AffineRows(kp, n, lm_head_, &logits);  // [rows, V]
     const int vocab = logits.cols();
 
     // Per-prompt expansion + prune, replicating the legacy BeamDecode

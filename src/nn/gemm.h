@@ -7,6 +7,22 @@ namespace dtt {
 namespace nn {
 namespace internal {
 
+// These three loops are the *scalar oracle*: their accumulation order
+// defines bit-exact correctness for every other kernel provider
+// (nn/kernel_provider.h). The contract has two parts:
+//
+//  1. Per output element, partial products are added in ascending-p order,
+//     resuming from the element's existing value.
+//  2. Terms whose A operand is an exact fp32 zero are skipped. The skip is
+//     load-bearing for locality (padded batch rows and masked-out softmax
+//     scores are exact zeros by construction — see the Softmax/PaddedBatch
+//     notes in nn/ops.cc) and is part of the oracle's definition: for
+//     finite inputs, skipping `c += 0.0f * b` is bitwise-neutral, so
+//     branch-free providers (vec_f32) still match bit-for-bit. Future
+//     providers must not "fix" the asymmetry the other way — introducing a
+//     skip that changes accumulation order, or relying on the skip for
+//     non-finite operands.
+
 /// C += A * B for row-major [m,k] x [k,n]; ikj ordering for locality.
 /// Shared by the autograd MatMul op and the raw inference engine so both
 /// paths accumulate in the same order (bit-exact results).
@@ -39,7 +55,12 @@ inline void GemmAtAcc(const float* a, const float* b, float* c, int k, int m,
   }
 }
 
-/// C += A * B^T for A [m,k], B [n,k] -> C [m,n].
+/// C += A * B^T for A [m,k], B [n,k] -> C [m,n]. Carries the same
+/// `av == 0.0f` skip as GemmAcc/GemmAtAcc (the asymmetry was an oversight):
+/// rows of A that are exact zeros — padded batch rows backpropagating zero
+/// grad through MatMul — skip their multiply-adds entirely. Skipping a zero
+/// term is bitwise-neutral for the fresh `dot` accumulator, so this changed
+/// no output bit (nn_gemm_test pins the pre-change goldens).
 inline void GemmBtAcc(const float* a, const float* b, float* c, int m, int k,
                       int n) {
   for (int i = 0; i < m; ++i) {
@@ -48,7 +69,11 @@ inline void GemmBtAcc(const float* a, const float* b, float* c, int m, int k,
     for (int j = 0; j < n; ++j) {
       const float* brow = b + static_cast<size_t>(j) * k;
       float dot = 0.0f;
-      for (int p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        dot += av * brow[p];
+      }
       crow[j] += dot;
     }
   }

@@ -1,0 +1,171 @@
+// The int8 kernel provider: symmetric per-tensor quantization (nn/quantize.h)
+// with int32 accumulation and dequantize-on-store.
+//
+// Both operands are quantized per call, except Affine weights, which callers
+// can pre-quantize once per weight revision via Prepare()/Linear::PackedFor.
+// Unlike vec_f32 this path is *not* bit-exact with the scalar oracle — a
+// per-tensor scale discards ~7 bits of mantissa — so it must never run under
+// the bit-identity test tiers. Its contract is end-to-end instead: join
+// accuracy on a reduced eval grid stays within a stated tolerance of the
+// fp32 run (nn_gemm_test Int8 end-to-end test, exp_runtime section (g)).
+//
+// The integer kernels skip zero quantized activations: q == 0 covers every
+// exact fp32 zero (quantization is zero-preserving), so padded/masked rows
+// are skipped just like the scalar oracle's exact-zero skip — and on int32
+// accumulators the skip is exact, not merely bitwise-neutral.
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernel_provider.h"
+#include "nn/quantize.h"
+
+namespace dtt {
+namespace nn {
+namespace {
+
+// Quantized values are stored as int16 inside the kernels: baseline SSE2
+// has no int8->int32 widening multiply, but GCC vectorizes the
+// int16 x int16 -> int32 pattern (pmullw/pmulhw + unpack). Values stay in
+// the int8 grid [-127, 127], so int32 accumulation of int16 products is
+// exact for any k < 2^17.
+std::vector<int16_t> Widen(const std::vector<int8_t>& q) {
+  std::vector<int16_t> wide(q.size());
+  for (size_t i = 0; i < q.size(); ++i) wide[i] = q[i];
+  return wide;
+}
+
+struct Int8Packed final : public PackedWeights {
+  QuantizedBlock block;
+  std::vector<int16_t> wide;  // Widen(block.q), cached with the weights
+};
+
+// C += (QA * QB) * combined_scale for row-major QA [m,k] x QB [k,n]; the ikj
+// ordering mirrors the scalar oracle. Accumulates one int32 output row at a
+// time so the dequantized store touches each c element once.
+void Int8GemmAcc(const int16_t* qa, const int16_t* qb, float scale, float* c,
+                 int m, int k, int n, std::vector<int32_t>* acc_buf) {
+  acc_buf->assign(static_cast<size_t>(n), 0);
+  int32_t* acc = acc_buf->data();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) acc[j] = 0;
+    const int16_t* arow = qa + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const int16_t av = arow[p];
+      if (av == 0) continue;
+      const int16_t* brow = qb + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) acc[j] += av * brow[j];
+    }
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      crow[j] += static_cast<float>(acc[j]) * scale;
+    }
+  }
+}
+
+class Int8Provider final : public KernelProvider {
+ public:
+  const char* name() const override { return "int8"; }
+
+  void GemmAcc(const float* a, const float* b, float* c, int m, int k,
+               int n) const override {
+    const QuantizedBlock qa = Quantize(a, static_cast<size_t>(m) * k);
+    const QuantizedBlock qb = Quantize(b, static_cast<size_t>(k) * n);
+    const std::vector<int16_t> wa = Widen(qa.q);
+    const std::vector<int16_t> wb = Widen(qb.q);
+    std::vector<int32_t> acc;
+    Int8GemmAcc(wa.data(), wb.data(), qa.scale * qb.scale, c, m, k, n, &acc);
+  }
+
+  void GemmAtAcc(const float* a, const float* b, float* c, int k, int m,
+                 int n) const override {
+    const QuantizedBlock qa = Quantize(a, static_cast<size_t>(k) * m);
+    const QuantizedBlock qb = Quantize(b, static_cast<size_t>(k) * n);
+    const std::vector<int16_t> wa = Widen(qa.q);
+    const std::vector<int16_t> wb = Widen(qb.q);
+    const float scale = qa.scale * qb.scale;
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) acc[static_cast<size_t>(j)] = 0;
+      for (int p = 0; p < k; ++p) {
+        const int16_t av = wa[static_cast<size_t>(p) * m + i];
+        if (av == 0) continue;
+        const int16_t* brow = wb.data() + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += av * brow[j];
+      }
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += static_cast<float>(acc[static_cast<size_t>(j)]) * scale;
+      }
+    }
+  }
+
+  void GemmBtAcc(const float* a, const float* b, float* c, int m, int k,
+                 int n) const override {
+    const QuantizedBlock qa = Quantize(a, static_cast<size_t>(m) * k);
+    const QuantizedBlock qb = Quantize(b, static_cast<size_t>(n) * k);
+    const std::vector<int16_t> wa = Widen(qa.q);
+    const std::vector<int16_t> wb = Widen(qb.q);
+    const float scale = qa.scale * qb.scale;
+    for (int i = 0; i < m; ++i) {
+      const int16_t* arow = wa.data() + static_cast<size_t>(i) * k;
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const int16_t* brow = wb.data() + static_cast<size_t>(j) * k;
+        int32_t dot = 0;
+        for (int p = 0; p < k; ++p) {
+          dot += static_cast<int32_t>(arow[p]) * brow[p];
+        }
+        crow[j] += static_cast<float>(dot) * scale;
+      }
+    }
+  }
+
+  void Affine(const float* x, int rows, int in_dim, const float* w,
+              const float* bias, int out_dim, const PackedWeights* packed,
+              float* out) const override {
+    // Weights come pre-quantized (and pre-widened) from Linear::PackedFor
+    // on the hot decode path; the fallback quantizes on the fly (one-off
+    // callers, tests).
+    Int8Packed local;
+    const Int8Packed* pw;
+    if (packed != nullptr) {
+      pw = static_cast<const Int8Packed*>(packed);
+    } else {
+      local.block = Quantize(w, static_cast<size_t>(in_dim) * out_dim);
+      local.wide = Widen(local.block.q);
+      pw = &local;
+    }
+    const QuantizedBlock qx =
+        Quantize(x, static_cast<size_t>(rows) * in_dim);
+    const std::vector<int16_t> wx = Widen(qx.q);
+    const size_t total = static_cast<size_t>(rows) * out_dim;
+    for (size_t i = 0; i < total; ++i) out[i] = 0.0f;
+    std::vector<int32_t> acc;
+    Int8GemmAcc(wx.data(), pw->wide.data(), qx.scale * pw->block.scale, out,
+                rows, in_dim, out_dim, &acc);
+    for (int i = 0; i < rows; ++i) {
+      float* row = out + static_cast<size_t>(i) * out_dim;
+      for (int j = 0; j < out_dim; ++j) row[j] += bias[j];
+    }
+  }
+
+  std::shared_ptr<PackedWeights> Prepare(const float* w, int in_dim,
+                                         int out_dim) const override {
+    auto packed = std::make_shared<Int8Packed>();
+    packed->block = Quantize(w, static_cast<size_t>(in_dim) * out_dim);
+    packed->wide = Widen(packed->block.q);
+    return packed;
+  }
+
+  bool uses_packed_weights() const override { return true; }
+};
+
+}  // namespace
+
+const KernelProvider& Int8KernelProvider() {
+  static const Int8Provider provider;
+  return provider;
+}
+
+}  // namespace nn
+}  // namespace dtt

@@ -1,0 +1,113 @@
+#include "nn/kernel_provider.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/gemm.h"
+
+namespace dtt {
+namespace nn {
+
+// Singleton accessors defined by the non-scalar provider translation units
+// (kernel_vec.cc, kernel_int8.cc).
+const KernelProvider& VecF32KernelProvider();
+const KernelProvider& Int8KernelProvider();
+
+void KernelProvider::Affine(const float* x, int rows, int in_dim,
+                            const float* w, const float* bias, int out_dim,
+                            const PackedWeights* packed, float* out) const {
+  (void)packed;
+  const size_t total = static_cast<size_t>(rows) * out_dim;
+  for (size_t i = 0; i < total; ++i) out[i] = 0.0f;
+  GemmAcc(x, w, out, rows, in_dim, out_dim);
+  for (int i = 0; i < rows; ++i) {
+    float* row = out + static_cast<size_t>(i) * out_dim;
+    for (int j = 0; j < out_dim; ++j) row[j] += bias[j];
+  }
+}
+
+namespace {
+
+/// The original nn/gemm.h loops, untouched. Accumulation order — including
+/// the exact-zero skip — is the oracle contract every other provider is
+/// measured against; see the gemm.h header comment.
+class ScalarProvider final : public KernelProvider {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void GemmAcc(const float* a, const float* b, float* c, int m, int k,
+               int n) const override {
+    internal::GemmAcc(a, b, c, m, k, n);
+  }
+
+  void GemmAtAcc(const float* a, const float* b, float* c, int k, int m,
+                 int n) const override {
+    internal::GemmAtAcc(a, b, c, k, m, n);
+  }
+
+  void GemmBtAcc(const float* a, const float* b, float* c, int m, int k,
+                 int n) const override {
+    internal::GemmBtAcc(a, b, c, m, k, n);
+  }
+};
+
+const std::array<const KernelProvider*, 3>& Providers() {
+  static const ScalarProvider scalar;
+  static const std::array<const KernelProvider*, 3> list = {
+      &scalar, &VecF32KernelProvider(), &Int8KernelProvider()};
+  return list;
+}
+
+const KernelProvider* Lookup(const std::string& name) {
+  for (const KernelProvider* p : Providers()) {
+    if (name == p->name()) return p;
+  }
+  return nullptr;
+}
+
+std::atomic<const KernelProvider*>& ActiveSlot() {
+  static std::atomic<const KernelProvider*> active{[]() {
+    const char* env = std::getenv("DTT_KERNEL_PROVIDER");
+    if (env == nullptr || env[0] == '\0') return Providers()[0];
+    if (const KernelProvider* found = Lookup(env)) return found;
+    std::fprintf(stderr,
+                 "dtt: unknown DTT_KERNEL_PROVIDER '%s'; using scalar\n",
+                 env);
+    return Providers()[0];
+  }()};
+  return active;
+}
+
+}  // namespace
+
+const KernelProvider& ActiveKernelProvider() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+Status SetActiveKernelProvider(const std::string& name) {
+  const KernelProvider* found = Lookup(name);
+  if (found == nullptr) {
+    return Status::InvalidArgument("unknown kernel provider: " + name);
+  }
+  ActiveSlot().store(found, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<const KernelProvider*> FindKernelProvider(const std::string& name) {
+  const KernelProvider* found = Lookup(name);
+  if (found == nullptr) {
+    return Status::InvalidArgument("unknown kernel provider: " + name);
+  }
+  return found;
+}
+
+std::vector<std::string> KernelProviderNames() {
+  std::vector<std::string> names;
+  for (const KernelProvider* p : Providers()) names.emplace_back(p->name());
+  return names;
+}
+
+}  // namespace nn
+}  // namespace dtt

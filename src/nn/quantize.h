@@ -1,0 +1,69 @@
+#ifndef DTT_NN_QUANTIZE_H_
+#define DTT_NN_QUANTIZE_H_
+
+// Symmetric per-tensor int8 quantization used by the int8 kernel provider
+// (nn/kernel_int8.cc). One scale per tensor maps the maximum magnitude onto
+// 127, so q = round(x / scale) with round-half-to-even (the process default
+// rounding mode via lrintf) and dequantization is q * scale. The scheme is
+// deliberately zero-preserving: x == 0 quantizes to q == 0 exactly, which
+// keeps the integer kernels' zero-skip aligned with the scalar oracle's
+// exact-zero skip (see nn/gemm.h) on padded/masked rows.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dtt {
+namespace nn {
+
+/// Scale mapping max|x| to 127. All-zero (or empty) blocks get scale 1.0 so
+/// dequantization stays exact and no division by zero occurs.
+inline float QuantScale(const float* x, size_t count) {
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::fabs(x[i]));
+  }
+  return max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+}
+
+/// q[i] = round(x[i] / scale) clamped to [-127, 127]. The clamp keeps the
+/// representation symmetric (-128 is never produced), so negating a tensor
+/// negates its quantized form.
+inline void QuantizeValues(const float* x, size_t count, float scale,
+                           int8_t* q) {
+  const float inv = 1.0f / scale;
+  for (size_t i = 0; i < count; ++i) {
+    float v = x[i] * inv;
+    v = std::max(-127.0f, std::min(127.0f, v));
+    q[i] = static_cast<int8_t>(std::lrintf(v));
+  }
+}
+
+/// A quantized tensor: values plus the per-tensor scale.
+struct QuantizedBlock {
+  std::vector<int8_t> q;
+  float scale = 1.0f;
+};
+
+inline QuantizedBlock Quantize(const float* x, size_t count) {
+  QuantizedBlock block;
+  block.scale = QuantScale(x, count);
+  block.q.resize(count);
+  QuantizeValues(x, count, block.scale, block.q.data());
+  return block;
+}
+
+/// Round-trip error per element is at most scale / 2 (rounding), since the
+/// scale choice guarantees |x| / scale <= 127 and the clamp never binds
+/// except at the extremes, which map exactly.
+inline void Dequantize(const int8_t* q, size_t count, float scale, float* x) {
+  for (size_t i = 0; i < count; ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_QUANTIZE_H_
