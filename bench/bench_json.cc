@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "nn/kernel_provider.h"
+#include "obs/metrics.h"
 
 extern char** environ;
 
@@ -122,9 +123,38 @@ JsonObject& BenchJsonReporter::AddRun(const std::string& name) {
   return runs_.back();
 }
 
+namespace {
+
+/// The process-wide metrics snapshot flattened into one scalar JSON object
+/// (the document's "metrics" block). Zero-count histograms are dropped:
+/// their percentiles would be meaningless zeros.
+JsonObject RenderMetricsBlock() {
+  const obs::MetricsSnapshot snap = obs::GlobalMetrics().Snapshot();
+  JsonObject block;
+  for (const auto& [name, value] : snap.counters) {
+    block.Set(name, static_cast<int64_t>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    block.Set(name, value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (hist.count == 0) continue;
+    block.Set(name + ".count", static_cast<int64_t>(hist.count));
+    block.Set(name + ".mean", hist.Mean());
+    block.Set(name + ".p50", hist.Percentile(0.50));
+    block.Set(name + ".p95", hist.Percentile(0.95));
+    block.Set(name + ".p99", hist.Percentile(0.99));
+    block.Set(name + ".max", hist.max);
+  }
+  return block;
+}
+
+}  // namespace
+
 std::string BenchJsonReporter::ToJson() const {
   std::string out = "{\"bench\":" + EscapeString(bench_name_);
   out += ",\"meta\":" + meta_.ToJson();
+  out += ",\"metrics\":" + RenderMetricsBlock().ToJson();
   out += ",\"runs\":[";
   for (size_t i = 0; i < runs_.size(); ++i) {
     if (i) out += ",";

@@ -14,8 +14,10 @@ namespace bench {
 /// Layout version of the documents BenchJsonReporter writes; bumped whenever
 /// fields move or change meaning so perf trajectories recorded on different
 /// machines/PRs can filter for comparable documents. Version 2 added the
-/// automatic meta stamp (schema_version, host_threads, env_DTT_*).
-inline constexpr int64_t kBenchJsonSchemaVersion = 2;
+/// automatic meta stamp (schema_version, host_threads, env_DTT_*); version 3
+/// added the "metrics" block (a flattened snapshot of the process-wide
+/// obs::MetricsRegistry, taken when the document is rendered).
+inline constexpr int64_t kBenchJsonSchemaVersion = 3;
 
 /// The DTT_* environment overrides in effect, sorted by name — the knobs
 /// (row scale, worker counts, sweep grids, ...) that make two runs of the
@@ -47,7 +49,12 @@ class JsonObject {
 /// Collects one machine-readable JSON document per bench run so perf deltas
 /// can be tracked across PRs instead of eyeballed from stdout tables:
 ///
-///   {"bench": "<name>", "meta": {...}, "runs": [{...}, ...]}
+///   {"bench": "<name>", "meta": {...}, "metrics": {...}, "runs": [{...}, ...]}
+///
+/// "metrics" is a flat scalar object holding the process-wide
+/// obs::MetricsRegistry snapshot at render time: counters/gauges under
+/// their registry names, histograms flattened to <name>.count / .mean /
+/// .p50 / .p95 / .p99 / .max (histograms with zero records are omitted).
 ///
 /// Every run is a flat object of scalars (wall-clock seconds, rows/sec,
 /// batch size, thread count, ...). Write() drops the document next to the

@@ -12,6 +12,8 @@
 #include "models/alignment.h"
 #include "nn/kernel_provider.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/serializer.h"
 #include "text/vocab.h"
 #include "transform/sampler.h"
@@ -253,6 +255,38 @@ void BM_BeamDecodeBatch(benchmark::State& state, const char* provider) {
 BENCHMARK_CAPTURE(BM_BeamDecodeBatch, scalar, "scalar")->Arg(1)->Arg(4);
 BENCHMARK_CAPTURE(BM_BeamDecodeBatch, vec_f32, "vec_f32")->Arg(1)->Arg(4);
 BENCHMARK_CAPTURE(BM_BeamDecodeBatch, int8, "int8")->Arg(1)->Arg(4);
+
+// The observability fast paths themselves: a disabled TraceSpan must cost
+// about one relaxed atomic load (this is the bench-level view of the <1%
+// decode-overhead contract; the hard guard is ObsTraceTest.
+// DisabledSpanOverhead), and a counter increment / histogram record must
+// stay cheap enough for per-request serving paths.
+void BM_DisabledSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::TraceSpan span("bench", "bench.disabled_span");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+}
+BENCHMARK(BM_DisabledSpan);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  static obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static obs::Histogram hist;
+  double v = 0.001;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v < 1000.0 ? v * 1.1 : 0.001;  // sweep buckets, defeat caching
+  }
+}
+BENCHMARK(BM_HistogramRecord);
 
 /// Console output plus collection of every run for the JSON document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {

@@ -5,6 +5,7 @@
 #include <future>
 
 #include "nn/kernel_provider.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "util/thread_pool.h"
 
@@ -19,6 +20,13 @@ DttPipeline::DttPipeline(std::vector<std::shared_ptr<TextToTextModel>> models,
     Status st = nn::SetActiveKernelProvider(options_.kernel_provider);
     if (!st.ok()) {
       std::fprintf(stderr, "dtt: PipelineOptions.kernel_provider: %s\n",
+                   st.message().c_str());
+    }
+  }
+  if (!options_.trace_path.empty()) {
+    Status st = obs::StartTracing(options_.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "dtt: PipelineOptions.trace_path: %s\n",
                    st.message().c_str());
     }
   }
@@ -57,6 +65,13 @@ RowPrediction DttPipeline::TransformRow(
 std::vector<RowPrediction> DttPipeline::TransformAll(
     const std::vector<std::string>& sources,
     const std::vector<ExamplePair>& examples, Rng* rng) const {
+  obs::TraceSpan span("pipeline", "pipeline.transform_all");
+  if (span.enabled()) {
+    span.Arg("rows", static_cast<int64_t>(sources.size()));
+    span.Arg("models", static_cast<int64_t>(models_.size()));
+    span.Arg("batch_size", static_cast<int64_t>(options_.batch_size));
+    span.Arg("threads", static_cast<int64_t>(options_.num_threads));
+  }
   serve::ServeOptions sopts;
   sopts.decomposer = options_.decomposer;
   // One draw seeds the service's per-request streams — the same single draw
@@ -91,6 +106,13 @@ std::vector<RowPrediction> DttPipeline::TransformAll(
 std::vector<RowPrediction> DttPipeline::TransformAllFixedBatch(
     const std::vector<std::string>& sources,
     const std::vector<ExamplePair>& examples, Rng* rng) const {
+  obs::TraceSpan span("pipeline", "pipeline.transform_all_fixed");
+  if (span.enabled()) {
+    span.Arg("rows", static_cast<int64_t>(sources.size()));
+    span.Arg("models", static_cast<int64_t>(models_.size()));
+    span.Arg("batch_size", static_cast<int64_t>(options_.batch_size));
+    span.Arg("threads", static_cast<int64_t>(options_.num_threads));
+  }
   const size_t num_rows = sources.size();
   const size_t num_models = models_.size();
 

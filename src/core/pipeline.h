@@ -41,6 +41,12 @@ struct PipelineOptions {
   /// Applied via SetActiveKernelProvider at pipeline construction: the
   /// selection is process-global, not scoped to this pipeline's calls.
   std::string kernel_provider;
+  /// When non-empty, enables Chrome-trace span recording (obs/trace.h) and
+  /// writes the trace-event JSON to this path at StopTracing / process
+  /// exit. Like kernel_provider, applied at pipeline construction and
+  /// process-global: equivalent to DTT_TRACE=<path> in the environment.
+  /// Tracing only observes — predictions are bit-identical with it on.
+  std::string trace_path;
 };
 
 /// The DTT framework of Figure 2: decomposer + serializer + model(s) +

@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -103,6 +105,8 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
 
 GridResult ExperimentRunner::Run(const ExperimentSpec& spec) const {
   Stopwatch wall;
+  obs::TraceSpan run_span("eval", "eval.run");
+  run_span.Arg("spec", spec.name);
   GridResult out;
   const int workers = std::max(1, options_.num_workers);
   out.num_workers = workers;
@@ -172,6 +176,7 @@ GridResult ExperimentRunner::Run(const ExperimentSpec& spec) const {
     }
   }
   out.num_cells = cells.size();
+  run_span.Arg("cells", static_cast<int64_t>(cells.size()));
   std::vector<TableEval> results(cells.size());
 
   // Progress: one stderr line as each (dataset, method) column completes —
@@ -203,6 +208,13 @@ GridResult ExperimentRunner::Run(const ExperimentSpec& spec) const {
     // internal name must not collide).
     const std::string& ds_name = out.datasets[cell.d];
     const TablePair& table = datasets[cell.d]->tables[cell.t];
+    obs::TraceSpan cell_span("eval", "eval.cell");
+    if (cell_span.enabled()) {
+      cell_span.Arg("dataset", ds_name);
+      cell_span.Arg("method", spec.methods[cell.m].name);
+      cell_span.Arg("table", table.name);
+    }
+    Stopwatch cell_watch;
     // Split + mutation stream: (seed, dataset, table) only, so every method
     // column sees the identical split of each table.
     Rng split_rng(GridCellSeed(spec.seed, ds_name, table.name));
@@ -213,6 +225,9 @@ GridResult ExperimentRunner::Run(const ExperimentSpec& spec) const {
                              spec.methods[cell.m].name));
     TableEval te = EvaluateOnSplit(method, split, &run_rng);
     te.table = table.name;
+    obs::GlobalMetrics().GetCounter("eval.cells")->Increment();
+    obs::GlobalMetrics().GetHistogram("eval.cell_ms")
+        ->Record(cell_watch.Seconds() * 1000.0);
     return te;
   };
 

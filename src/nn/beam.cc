@@ -31,6 +31,8 @@
 
 #include "nn/infer_internal.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/vocab.h"
 
 namespace dtt {
@@ -62,6 +64,23 @@ struct BeamLayerState {
   Tensor cross_v;    // [U*Tm, D]
 };
 
+// Process-wide beam-decode counters, resolved once (see infer.cc).
+struct BeamMetrics {
+  obs::Counter* calls;
+  obs::Counter* prompts;
+  obs::Counter* steps;
+  obs::Histogram* batch_size;
+  static const BeamMetrics& Get() {
+    static const BeamMetrics m{
+        obs::GlobalMetrics().GetCounter("nn.beam.calls"),
+        obs::GlobalMetrics().GetCounter("nn.beam.prompts"),
+        obs::GlobalMetrics().GetCounter("nn.beam.steps"),
+        obs::GlobalMetrics().GetHistogram("nn.beam.batch_size"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
@@ -85,6 +104,18 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
         static_cast<int>(uniq_prompts.size()));
     if (inserted) uniq_prompts.push_back(input_ids[static_cast<size_t>(p)]);
     prompt_uniq[static_cast<size_t>(p)] = it->second;
+  }
+
+  const BeamMetrics& metrics = BeamMetrics::Get();
+  metrics.calls->Increment();
+  metrics.prompts->Add(num_prompts);
+  metrics.batch_size->Record(num_prompts);
+  obs::TraceSpan span("nn", "nn.beam_batch");
+  if (span.enabled()) {
+    span.Arg("prompts", static_cast<int64_t>(num_prompts));
+    span.Arg("uniq", static_cast<int64_t>(uniq_prompts.size()));
+    span.Arg("width", static_cast<int64_t>(width));
+    span.Arg("provider", kp.name());
   }
 
   PaddedBatch enc = PaddedBatch::Pack(uniq_prompts);
@@ -125,6 +156,7 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
   Tensor x, n, q, k, v, ctx, attn_out, h1, h2, ff_mid, ff_out, logits;
   const Tensor& embed = embedding_.weight_value();
 
+  int steps_run = 0;
   for (int step = 0; step < max_steps && step < cap; ++step) {
     // Collect the live hypotheses, in (prompt, beam) order, as batch rows.
     row_prompt.clear();
@@ -140,6 +172,12 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
     }
     const int rows = static_cast<int>(row_prompt.size());
     if (rows == 0) break;
+    ++steps_run;
+    obs::TraceSpan step_span("nn", "nn.beam_step");
+    if (step_span.enabled()) {
+      step_span.Arg("step", static_cast<int64_t>(step));
+      step_span.Arg("rows", static_cast<int64_t>(rows));
+    }
 
     self_bases.resize(static_cast<size_t>(rows));
     cross_bases.resize(static_cast<size_t>(rows));
@@ -313,6 +351,8 @@ std::vector<std::vector<int>> Transformer::BeamDecodeBatch(
     front = back;
     if (all_prompts_done) break;
   }
+  metrics.steps->Add(steps_run);
+  span.Arg("steps", static_cast<int64_t>(steps_run));
 
   for (int p = 0; p < num_prompts; ++p) {
     const Hyp& best = beams[static_cast<size_t>(p)][0];

@@ -16,6 +16,8 @@
 
 #include "nn/infer_internal.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/vocab.h"
 
 namespace dtt {
@@ -36,6 +38,24 @@ struct LayerState {
   Tensor cross_v;  // [B*Tm, D]
 };
 
+// Process-wide decode counters/histograms, resolved once. Purely
+// observational: recording never feeds back into the decode.
+struct DecodeMetrics {
+  obs::Counter* calls;
+  obs::Counter* rows;
+  obs::Counter* steps;
+  obs::Histogram* batch_size;
+  static const DecodeMetrics& Get() {
+    static const DecodeMetrics m{
+        obs::GlobalMetrics().GetCounter("nn.generate.calls"),
+        obs::GlobalMetrics().GetCounter("nn.generate.rows"),
+        obs::GlobalMetrics().GetCounter("nn.generate.steps"),
+        obs::GlobalMetrics().GetHistogram("nn.generate.batch_size"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 std::vector<std::vector<int>> Transformer::GenerateBatch(
@@ -47,6 +67,16 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
   // One provider for the whole decode: resolved here so a concurrent
   // SetActiveKernelProvider cannot mix kernels mid-sequence.
   const KernelProvider& kp = ActiveKernelProvider();
+  const DecodeMetrics& metrics = DecodeMetrics::Get();
+  metrics.calls->Increment();
+  metrics.rows->Add(batch);
+  metrics.batch_size->Record(batch);
+  obs::TraceSpan span("nn", "nn.generate_batch");
+  if (span.enabled()) {
+    span.Arg("batch", static_cast<int64_t>(batch));
+    span.Arg("max_steps", static_cast<int64_t>(max_steps));
+    span.Arg("provider", kp.name());
+  }
   // The encoder runs once; the (batched, length-masked) autograd path is
   // fine for a single pass — only its value tensor is kept.
   PaddedBatch enc = PaddedBatch::Pack(input_ids);
@@ -86,7 +116,18 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
   Tensor n, q, k, v, ctx, attn_out, h1, h2, ff_mid, ff_out, logits;
 
   const Tensor& embed = embedding_.weight_value();
+  int steps_run = 0;
   for (int step = 0; step < max_steps; ++step) {
+    ++steps_run;
+    obs::TraceSpan step_span("nn", "nn.generate_step");
+    if (step_span.enabled()) {
+      int active = 0;
+      for (int b = 0; b < batch; ++b) {
+        if (!done[static_cast<size_t>(b)]) ++active;
+      }
+      step_span.Arg("step", static_cast<int64_t>(step));
+      step_span.Arg("active", static_cast<int64_t>(active));
+    }
     // Embed the current token (position `step`) of every sequence.
     for (int b = 0; b < batch; ++b) {
       const float* erow =
@@ -177,6 +218,8 @@ std::vector<std::vector<int>> Transformer::GenerateBatch(
     }
     if (all_done) break;
   }
+  metrics.steps->Add(steps_run);
+  span.Arg("steps", static_cast<int64_t>(steps_run));
   return generated;
 }
 

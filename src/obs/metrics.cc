@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dtt {
+namespace obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Bucket upper bounds, materialized once: bounds[i] is the inclusive upper
+/// bound of bucket i, so BucketFor can fix up the log2 estimate exactly
+/// instead of trusting floating-point rounding at bucket edges.
+const std::array<double, Histogram::kNumBuckets>& Bounds() {
+  static const std::array<double, Histogram::kNumBuckets> bounds = [] {
+    std::array<double, Histogram::kNumBuckets> b{};
+    for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+      b[static_cast<size_t>(i)] =
+          Histogram::kMinTracked *
+          std::exp2(static_cast<double>(i) / Histogram::kBucketsPerOctave);
+    }
+    b[Histogram::kNumBuckets - 1] = std::numeric_limits<double>::infinity();
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  shards_[CurrentThreadTag() % kShards].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::UpperBound(int bucket) {
+  bucket = std::clamp(bucket, 0, kNumBuckets - 1);
+  return Bounds()[static_cast<size_t>(bucket)];
+}
+
+double Histogram::RelativeWidth() {
+  return std::exp2(1.0 / kBucketsPerOctave);
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > kMinTracked)) return 0;  // also NaN, negatives, zero
+  int idx = 1 + static_cast<int>(std::floor(
+                    std::log2(value / kMinTracked) *
+                    static_cast<double>(kBucketsPerOctave)));
+  idx = std::clamp(idx, 1, kNumBuckets - 1);
+  // Exact fixup of the estimate: the bucket owns (bound[i-1], bound[i]].
+  const auto& bounds = Bounds();
+  while (idx < kNumBuckets - 1 && value > bounds[static_cast<size_t>(idx)]) {
+    ++idx;
+  }
+  while (idx > 1 && value <= bounds[static_cast<size_t>(idx - 1)]) {
+    --idx;
+  }
+  return idx;
+}
+
+void Histogram::Record(double value) {
+  buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    // First record initializes min/max directly; later records only narrow
+    // them. A concurrent first record may interleave, so still CAS-narrow
+    // afterwards.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[static_cast<size_t>(i)];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double rank_f = std::ceil(p * static_cast<double>(count));
+  const uint64_t rank = static_cast<uint64_t>(
+      std::clamp(rank_f, 1.0, static_cast<double>(count)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum < rank) continue;
+    double value;
+    if (i == 0) {
+      value = min;  // underflow: everything below kMinTracked
+    } else if (i + 1 == buckets.size()) {
+      value = max;  // overflow bucket has no finite upper bound
+    } else {
+      const double hi = Histogram::UpperBound(static_cast<int>(i));
+      const double lo = Histogram::UpperBound(static_cast<int>(i) - 1);
+      value = std::sqrt(lo * hi);  // geometric midpoint of the bucket
+    }
+    return std::clamp(value, min, max);
+  }
+  return max;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: metric pointers cached in function-local statics
+  // (and atexit-flushed trace handlers reading counters) must stay valid
+  // for the whole process lifetime, past static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace dtt

@@ -1,0 +1,163 @@
+#ifndef DTT_OBS_METRICS_H_
+#define DTT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtt {
+namespace obs {
+
+/// Monotonic event counter. Increments land on one of kShards cache-line-
+/// isolated atomics chosen by the calling thread's tag, so concurrent
+/// writers on different threads do not bounce one cache line between
+/// cores. Value() sums the shards; because every shard is an atomic and
+/// only ever grows, concurrent Value() calls are torn-free and
+/// monotonically nondecreasing, and after all writers join the sum is
+/// exact.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Instantaneous value (queue depths, in-flight rows). Plain atomic:
+/// gauges are set/adjusted at coarse grain, not hammered per token.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of one Histogram (see below). `buckets` uses the
+/// histogram's fixed layout: index 0 is the underflow bucket (values below
+/// Histogram::kMinTracked, including zero and negatives), the last index is
+/// the overflow bucket, and bucket i in between covers the half-open
+/// log-scale range (UpperBound(i-1), UpperBound(i)].
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // exact smallest / largest recorded values
+  double max = 0.0;
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Exact-rank percentile: the rank is ceil(p * count) clamped to
+  /// [1, count] — the same convention as indexing a sorted vector of the
+  /// recorded values — resolved to the geometric midpoint of the bucket
+  /// holding that rank (clamped to [min, max]). Because bucket membership
+  /// is exact, the result differs from the true sorted-vector percentile by
+  /// at most one bucket's relative width (Histogram::RelativeWidth()).
+  double Percentile(double p) const;
+};
+
+/// Fixed-bucket log-scale histogram for latency/size distributions.
+/// Record() is lock-free: one relaxed fetch_add on the owning bucket plus
+/// relaxed CAS updates of sum/min/max. Buckets grow geometrically by
+/// 2^(1/kBucketsPerOctave) (~19% relative width), spanning kMinTracked
+/// (1e-6 — sub-microsecond when recording milliseconds) up past 1e9, so one
+/// layout serves microsecond queue waits and multi-hour walls alike.
+/// Snapshot() is safe concurrently with writers: every loaded value is
+/// atomic (torn-free); a snapshot taken mid-write may lag individual
+/// increments but never invents or corrupts counts.
+class Histogram {
+ public:
+  static constexpr double kMinTracked = 1e-6;
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kNumOctaves = 50;  // 2^50 * 1e-6 ≈ 1.1e9
+  static constexpr int kNumBuckets = kBucketsPerOctave * kNumOctaves + 2;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  /// Upper bound of bucket i (inclusive); i = 0 is the underflow bucket
+  /// whose upper bound is kMinTracked.
+  static double UpperBound(int bucket);
+  /// The bucket index value lands in (0 = underflow, kNumBuckets - 1 =
+  /// overflow; non-finite and negative values count as underflow).
+  static int BucketFor(double value);
+  /// Multiplicative width of one bucket: 2^(1/kBucketsPerOctave).
+  static double RelativeWidth();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count > 0
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> count_{0};  // gates min/max initialization
+};
+
+/// Everything a registry held at one instant, keyed by metric name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named metric registry. Get*() returns a stable pointer, creating the
+/// metric on first use; callers on hot paths should look a metric up once
+/// (e.g. into a function-local static) and increment through the pointer —
+/// the lookup takes a mutex, the increment never does. Instantiable
+/// directly for tests; production code shares the process-wide Global()
+/// instance, whose snapshot lands in every bench JSON document's
+/// `metrics` block.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed, so pointers cached in
+  /// function-local statics stay valid through shutdown).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry& GlobalMetrics() { return MetricsRegistry::Global(); }
+
+}  // namespace obs
+}  // namespace dtt
+
+#endif  // DTT_OBS_METRICS_H_

@@ -3,8 +3,54 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dtt {
 namespace serve {
+
+namespace {
+
+/// Process-wide serving metrics, shared across service instances (the
+/// per-instance view is ServiceStats). Looked up once; incremented lock-
+/// free afterwards.
+struct ServeMetrics {
+  obs::Counter* submitted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* dedup_joins;
+  obs::Counter* cache_hits;
+  obs::Counter* batches;
+  obs::Counter* prompts;
+  obs::Histogram* queue_wait_ms;
+  obs::Histogram* batch_size;
+  obs::Histogram* request_ms;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::GlobalMetrics();
+      ServeMetrics m;
+      m.submitted = reg.GetCounter("serve.rows.submitted");
+      m.rejected = reg.GetCounter("serve.rows.rejected");
+      m.completed = reg.GetCounter("serve.rows.completed");
+      m.dedup_joins = reg.GetCounter("serve.prompts.dedup_joins");
+      m.cache_hits = reg.GetCounter("serve.prompts.cache_hits");
+      m.batches = reg.GetCounter("serve.batches");
+      m.prompts = reg.GetCounter("serve.prompts.decoded");
+      m.queue_wait_ms = reg.GetHistogram("serve.queue_wait_ms");
+      m.batch_size = reg.GetHistogram("serve.batch_size");
+      m.request_ms = reg.GetHistogram("serve.request_ms");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+double MillisBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
 
 std::string PromptCacheKey(size_t model_index, const Prompt& prompt) {
   std::string key = "m" + std::to_string(model_index);
@@ -93,27 +139,38 @@ void TransformService::Drain() {
 Result<std::future<RowPrediction>> TransformService::Submit(
     const std::string& source, const std::vector<ExamplePair>& examples,
     std::function<void(const RowPrediction&)> on_complete) {
+  obs::TraceSpan span("serve", "serve.submit");
   uint64_t request_index = 0;
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     if (stopping_.load()) {
-      ++rejected_;
+      rejected_.Increment();
+      ServeMetrics::Get().rejected->Increment();
       return Status::Unavailable("service is shutting down");
     }
     if (pending_rows_ >= options_.max_pending_rows) {
-      ++rejected_;
+      rejected_.Increment();
+      ServeMetrics::Get().rejected->Increment();
       return Status::Unavailable("admission queue full (" +
                                  std::to_string(pending_rows_) +
                                  " rows in flight)");
     }
     ++pending_rows_;
-    ++submitted_;
+    submitted_.Increment();
     request_index = next_request_++;
   }
+  ServeMetrics::Get().submitted->Increment();
+  span.Arg("request", static_cast<int64_t>(request_index));
+  // The async pair brackets the request across threads: submit here, end
+  // on whichever thread fills the last slot (serve.complete carries the
+  // same request id as an arg).
+  obs::EmitAsyncBegin("serve", "serve.request", request_index);
 
   auto row = std::make_shared<RowState>();
   row->source = source;
   row->on_complete = std::move(on_complete);
+  row->request = request_index;
+  row->admitted = std::chrono::steady_clock::now();
   std::future<RowPrediction> future = row->promise.get_future();
 
   // Materialize this request's prompts from its private RNG stream — the
@@ -163,7 +220,8 @@ Result<std::future<RowPrediction>> TransformService::Submit(
             // An identical prompt is already queued or decoding: piggyback
             // on its result instead of decoding twice.
             it->second.push_back({row, m, t});
-            dedup_joins_.fetch_add(1, std::memory_order_relaxed);
+            dedup_joins_.Increment();
+            ServeMetrics::Get().dedup_joins->Increment();
             disposition = Disposition::kJoinedInflight;
           } else {
             backend.inflight.emplace(key, std::vector<WaitingSlot>{});
@@ -183,6 +241,7 @@ Result<std::future<RowPrediction>> TransformService::Submit(
       if (disposition == Disposition::kEnqueued) {
         backend.cv.notify_one();
       } else if (disposition == Disposition::kCacheHit) {
+        ServeMetrics::Get().cache_hits->Increment();
         FillSlot(row, m, t, cached);
       }
     }
@@ -241,6 +300,28 @@ void TransformService::SchedulerLoop(Backend* backend) {
 }
 
 void TransformService::RunBatch(Backend* backend, std::vector<Task> batch) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (const Task& task : batch) {
+    // Queue wait = admission-side enqueue to micro-batch dispatch; the
+    // trace span is emitted retroactively with its true endpoints so the
+    // request's span tree shows where the time went.
+    metrics.queue_wait_ms->Record(MillisBetween(task.enqueued, batch_start));
+    if (obs::TracingEnabled()) {
+      obs::EmitSpan(
+          "serve", "serve.queue_wait", task.enqueued, batch_start,
+          {obs::IntArg("request", static_cast<int64_t>(task.row->request)),
+           obs::IntArg("model", static_cast<int64_t>(task.model)),
+           obs::IntArg("trial", static_cast<int64_t>(task.trial))});
+    }
+  }
+  metrics.batch_size->Record(static_cast<double>(batch.size()));
+  obs::TraceSpan span("serve", "serve.batch");
+  if (span.enabled()) {
+    span.Arg("backend", backend->model->name());
+    span.Arg("batch_size", static_cast<int64_t>(batch.size()));
+    span.Arg("request0", static_cast<int64_t>(batch[0].row->request));
+  }
   std::vector<Result<std::string>> results;
   if (batch.size() == 1) {
     // The per-prompt path: max_batch == 1 keeps the original Transform
@@ -252,11 +333,10 @@ void TransformService::RunBatch(Backend* backend, std::vector<Task> batch) {
     for (Task& task : batch) prompts.push_back(std::move(task.prompt));
     results = backend->model->TransformBatch(prompts);
   }
-  {
-    std::lock_guard<std::mutex> lock(backend->mu);
-    backend->batches += 1;
-    backend->prompts += batch.size();
-  }
+  backend->batches.Increment();
+  backend->prompts.Add(batch.size());
+  metrics.batches->Increment();
+  metrics.prompts->Add(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     Task& task = batch[i];
     const std::string output =
@@ -293,44 +373,50 @@ void TransformService::FillSlot(const std::shared_ptr<RowState>& row,
 }
 
 void TransformService::FinalizeRow(const std::shared_ptr<RowState>& row) {
-  RowPrediction pred;
-  pred.source = row->source;
-  AggregateResult agg = aggregator_.AggregateMulti(row->outputs);
-  pred.prediction = agg.prediction;
-  pred.confidence = agg.confidence;
-  pred.support = agg.support;
-  row->promise.set_value(pred);
-  if (row->on_complete) row->on_complete(pred);
+  {
+    obs::TraceSpan span("serve", "serve.complete");
+    span.Arg("request", static_cast<int64_t>(row->request));
+    RowPrediction pred;
+    pred.source = row->source;
+    AggregateResult agg = aggregator_.AggregateMulti(row->outputs);
+    pred.prediction = agg.prediction;
+    pred.confidence = agg.confidence;
+    pred.support = agg.support;
+    row->promise.set_value(pred);
+    if (row->on_complete) row->on_complete(pred);
+  }
+  ServeMetrics::Get().request_ms->Record(
+      MillisBetween(row->admitted, std::chrono::steady_clock::now()));
+  ServeMetrics::Get().completed->Increment();
+  obs::EmitAsyncEnd("serve", "serve.request", row->request);
+  completed_.Increment();
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
-    ++completed_;
     --pending_rows_;
   }
   drain_cv_.notify_all();
 }
 
 ServiceStats TransformService::stats() const {
+  // Every field is an atomic counter (or the cache's own atomic stats), so
+  // this snapshot takes no locks and is safe mid-traffic; fields read at
+  // slightly different instants may be one event apart, never torn.
   ServiceStats stats;
-  {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    stats.submitted = submitted_;
-    stats.rejected = rejected_;
-    stats.completed = completed_;
-  }
-  stats.dedup_joins = dedup_joins_.load();
+  stats.submitted = submitted_.Value();
+  stats.rejected = rejected_.Value();
+  stats.completed = completed_.Value();
+  stats.dedup_joins = dedup_joins_.Value();
   if (cache_) stats.cache = cache_->stats();
   stats.backends.reserve(backends_.size());
   for (const auto& backend : backends_) {
     BackendStats bs;
     bs.name = backend->model->name();
-    std::lock_guard<std::mutex> lock(backend->mu);
-    bs.batches = backend->batches;
-    bs.prompts = backend->prompts;
+    bs.batches = backend->batches.Value();
+    bs.prompts = backend->prompts.Value();
     bs.mean_batch_size =
-        backend->batches == 0
+        bs.batches == 0
             ? 0.0
-            : static_cast<double>(backend->prompts) /
-                  static_cast<double>(backend->batches);
+            : static_cast<double>(bs.prompts) / static_cast<double>(bs.batches);
     stats.backends.push_back(bs);
   }
   return stats;

@@ -18,6 +18,7 @@
 #include "core/aggregator.h"
 #include "core/pipeline.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "text/decomposer.h"
 #include "util/rng.h"
@@ -76,7 +77,8 @@ struct ServeOptions {
   bool start_paused = false;
 };
 
-/// Per-backend serving counters.
+/// Per-backend serving counters (a point-in-time snapshot; the live values
+/// are obs::Counter instances on the backend, safe to read mid-traffic).
 struct BackendStats {
   std::string name;
   uint64_t batches = 0;        // TransformBatch dispatches
@@ -84,7 +86,9 @@ struct BackendStats {
   double mean_batch_size = 0.0;
 };
 
-/// Aggregate service counters.
+/// Aggregate service counters. A snapshot: stats() assembles it from the
+/// service's atomic obs::Counter members, so schedulers and workers keep
+/// mutating freely while it is read — no mutex, no torn values.
 struct ServiceStats {
   uint64_t submitted = 0;   // rows accepted
   uint64_t rejected = 0;    // rows refused with Unavailable
@@ -163,6 +167,8 @@ class TransformService {
     std::function<void(const RowPrediction&)> on_complete;
     std::vector<std::vector<std::string>> outputs;  // [model][trial]
     std::atomic<size_t> remaining{0};
+    uint64_t request = 0;  // admission index; the trace span-tree key
+    std::chrono::steady_clock::time_point admitted;
   };
 
   /// A slot waiting for the result of an identical in-flight prompt.
@@ -192,8 +198,9 @@ class TransformService {
     /// key -> slots piggybacking on the first in-flight decode of that key.
     std::unordered_map<std::string, std::vector<WaitingSlot>> inflight;
     std::thread scheduler;
-    uint64_t batches = 0;
-    uint64_t prompts = 0;
+    // Atomic so stats() reads them while RunBatch increments (no mutex).
+    obs::Counter batches;
+    obs::Counter prompts;
   };
 
   void SchedulerLoop(Backend* backend);
@@ -216,12 +223,16 @@ class TransformService {
 
   mutable std::mutex admission_mu_;
   std::condition_variable drain_cv_;
+  // Guarded by admission_mu_: the admission decision must observe an exact
+  // in-flight count, and request indices must be dense and ordered.
   size_t pending_rows_ = 0;
   uint64_t next_request_ = 0;
-  uint64_t submitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  std::atomic<uint64_t> dedup_joins_{0};
+  // Pure counters, re-homed on the atomic metrics primitives: incremented
+  // wherever convenient, read by stats() without synchronization.
+  obs::Counter submitted_;
+  obs::Counter rejected_;
+  obs::Counter completed_;
+  obs::Counter dedup_joins_;
 };
 
 /// The exact serialized identity of a prompt headed for backend

@@ -1,12 +1,31 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace dtt {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("DTT_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && env[0] != '\0' && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN logging] DTT_LOG_LEVEL=\"%s\" not recognized "
+                 "(expected debug/info/warn/error or 0-3); keeping info\n",
+                 env);
+  }
+  return level;
+}
+
+// Atomic: tests and long-running services adjust the level while worker
+// threads are logging.
+std::atomic<LogLevel> g_level{LevelFromEnv()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,10 +40,40 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint32_t CurrentThreadTag() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
 
 namespace internal {
 
@@ -34,11 +83,23 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char ts[16];
+  std::snprintf(ts, sizeof(ts), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms));
+  stream_ << "[" << LevelName(level) << " " << ts << " T" << CurrentThreadTag()
+          << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_level)) {
+  if (static_cast<int>(level_) >= static_cast<int>(GetLogLevel())) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
 }

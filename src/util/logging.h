@@ -1,20 +1,37 @@
 #ifndef DTT_UTIL_LOGGING_H_
 #define DTT_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dtt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped. Default: kInfo.
+/// Global minimum level; messages below it are dropped. Default: kInfo,
+/// overridable at startup via the DTT_LOG_LEVEL environment variable
+/// ("debug" / "info" / "warn[ing]" / "error", case-insensitive, or the
+/// numeric level 0-3) — parsed once before main runs; SetLogLevel still
+/// wins afterwards.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a log-level name or digit as accepted by DTT_LOG_LEVEL. Returns
+/// false (leaving *level untouched) on unrecognized input.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+/// Stable small integer tag of the calling thread (1, 2, 3, ... in first-
+/// use order, never reused). Stamped into every log line and used as the
+/// `tid` of trace events (obs/trace.h), so log lines and trace spans from
+/// one thread correlate.
+uint32_t CurrentThreadTag();
+
 namespace internal {
 
-/// Stream-style log line; emits to stderr on destruction.
+/// Stream-style log line; emits to stderr on destruction as
+///   [LEVEL HH:MM:SS.mmm Tn file:line] message
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

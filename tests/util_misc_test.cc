@@ -21,6 +21,41 @@ TEST(LoggingTest, LevelFilteringRoundTrip) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, ParseLogLevelNamesAndDigits) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  // Unrecognized inputs leave the output untouched.
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("7", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ThreadTagsAreStableAndDistinct) {
+  const uint32_t mine = CurrentThreadTag();
+  EXPECT_GT(mine, 0u);
+  EXPECT_EQ(CurrentThreadTag(), mine);  // stable within a thread
+  uint32_t other = 0;
+  std::thread t([&other] { other = CurrentThreadTag(); });
+  t.join();
+  EXPECT_NE(other, mine);
+  EXPECT_GT(other, 0u);
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

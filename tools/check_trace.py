@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON document written by src/obs/trace.cc.
+
+Checks, in order:
+  1. the file parses as JSON and is an object with a non-empty
+     "traceEvents" array;
+  2. every event carries the required fields (name/cat/ph/ts/pid/tid),
+     complete ("X") events carry a non-negative dur, and async ("b"/"e")
+     events carry an id;
+  3. async begin/end events pair up exactly on (cat, name, id);
+  4. complete events on one thread nest properly (any two are disjoint or
+     one contains the other — RAII spans can never partially overlap).
+     Retroactive spans (emitted at completion with explicit endpoints,
+     e.g. serve.queue_wait, whose start is the submit time recorded on a
+     different thread) are exempt: many waits legitimately overlap on the
+     dispatcher's thread;
+  5. with --require, each named event appears at least once;
+  6. if any serve.request async pair exists, at least one request id forms
+     a connected span tree: stage spans (serve.submit / serve.queue_wait /
+     serve.complete) referencing that id via args.request.
+
+Exit status 0 when all checks pass, 1 otherwise (with one line per
+failure on stderr). Used by CI on the DTT_TRACE artifact of the serve
+bench smoke run.
+
+Usage: check_trace.py TRACE.json [--require NAME...]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+# Spans emitted via EmitSpan with explicit endpoints rather than RAII
+# scoping. Their start timestamp predates the emitting thread's current
+# stack (serve.queue_wait starts at submit time on the caller's thread),
+# so the disjoint-or-nested invariant does not apply to them.
+RETROACTIVE_SPANS = frozenset({"serve.queue_wait"})
+
+
+def fail(errors, message):
+    errors.append(message)
+    print(f"check_trace: {message}", file=sys.stderr)
+
+
+def check_events_well_formed(events, errors):
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(errors, f"event {i} is not an object")
+            continue
+        for field in REQUIRED_FIELDS:
+            if field not in event:
+                fail(errors, f"event {i} ({event.get('name')!r}) missing {field!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            if "dur" not in event:
+                fail(errors, f"event {i} ({event.get('name')!r}) is 'X' without dur")
+            elif not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                fail(errors, f"event {i} ({event.get('name')!r}) has bad dur {event['dur']!r}")
+        elif ph in ("b", "e"):
+            if "id" not in event:
+                fail(errors, f"event {i} ({event.get('name')!r}) is {ph!r} without id")
+        else:
+            fail(errors, f"event {i} ({event.get('name')!r}) has unexpected ph {ph!r}")
+
+
+def check_async_pairs(events, errors):
+    counts = collections.Counter()
+    for event in events:
+        if event.get("ph") in ("b", "e") and "id" in event:
+            key = (event.get("cat"), event.get("name"), event["id"])
+            counts[key] += 1 if event["ph"] == "b" else -1
+    for (cat, name, ident), balance in counts.items():
+        if balance != 0:
+            kind = "begin" if balance > 0 else "end"
+            fail(errors, f"async {cat}/{name} id={ident}: unmatched {kind} "
+                         f"(balance {balance:+d})")
+
+
+def check_nesting(events, errors):
+    by_tid = collections.defaultdict(list)
+    for event in events:
+        if (event.get("ph") == "X" and "dur" in event and "ts" in event
+                and event.get("name") not in RETROACTIVE_SPANS):
+            by_tid[event.get("tid")].append(event)
+    for tid, spans in by_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        for i, a in enumerate(spans):
+            a0, a1 = a["ts"], a["ts"] + a["dur"]
+            for b in spans[i + 1:]:
+                b0, b1 = b["ts"], b["ts"] + b["dur"]
+                if b0 >= a1:
+                    break  # sorted by ts: everything after is disjoint too
+                if b1 > a1 and b0 > a0:
+                    fail(errors,
+                         f"tid {tid}: {a.get('name')!r} [{a0},{a1}] and "
+                         f"{b.get('name')!r} [{b0},{b1}] partially overlap")
+
+
+def check_required(events, names, errors):
+    seen = collections.Counter(e.get("name") for e in events)
+    for name in names:
+        if seen[name] == 0:
+            fail(errors, f"required event {name!r} absent from trace")
+
+
+def check_request_tree(events, errors):
+    """At least one serve.request id must have a full connected span tree."""
+    request_ids = {e["id"] for e in events
+                   if e.get("name") == "serve.request" and e.get("ph") == "b"}
+    if not request_ids:
+        return
+    stages_by_request = collections.defaultdict(set)
+    for event in events:
+        args = event.get("args")
+        if event.get("ph") == "X" and isinstance(args, dict) and "request" in args:
+            stages_by_request[args["request"]].add(event.get("name"))
+    want = {"serve.submit", "serve.queue_wait", "serve.complete"}
+    connected = [r for r in request_ids if want <= stages_by_request.get(r, set())]
+    if not connected:
+        fail(errors, f"no serve.request id out of {len(request_ids)} has a "
+                     f"connected span tree (stages {sorted(want)} via args.request)")
+    else:
+        print(f"check_trace: {len(connected)}/{len(request_ids)} requests "
+              f"have connected span trees")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require", nargs="*", default=[],
+                        help="event names that must appear at least once")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: cannot parse {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail(errors, "document is not an object with a traceEvents array")
+        return 1
+    events = doc["traceEvents"]
+    if not events:
+        fail(errors, "traceEvents is empty")
+        return 1
+
+    check_events_well_formed(events, errors)
+    check_async_pairs(events, errors)
+    check_nesting(events, errors)
+    check_required(events, args.require, errors)
+    check_request_tree(events, errors)
+
+    if errors:
+        print(f"check_trace: FAILED with {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"check_trace: OK — {len(events)} events, "
+          f"{len({e.get('tid') for e in events})} threads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
