@@ -5,11 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "bench/bench_json.h"
 #include "core/aggregator.h"
 #include "core/joiner.h"
+#include "io/model_artifact.h"
 #include "models/alignment.h"
+#include "nn/checkpoint.h"
 #include "nn/kernel_provider.h"
 #include "nn/trainer.h"
 #include "obs/metrics.h"
@@ -287,6 +291,67 @@ void BM_HistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramRecord);
+
+// Model cold-start: the same weights materialized through the two
+// containers. BM_LoadCheckpoint is construct + DTTCKPT1 parse + copy (the
+// heap path); BM_LoadArtifact is construct + DTTART1 mmap bind with the
+// eager payload checksum off (the serving posture) — the delta is what the
+// registry saves per cold load.
+struct LoadBenchFiles {
+  nn::TransformerConfig cfg;
+  std::string ckpt;
+  std::string artifact;
+
+  LoadBenchFiles() {
+    cfg.dim = 64;
+    cfg.num_heads = 4;
+    cfg.ff_hidden = 128;
+    cfg.encoder_layers = 2;
+    cfg.decoder_layers = 1;
+    cfg.max_len = 128;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dtt_bench_micro_io";
+    std::filesystem::create_directories(dir);
+    ckpt = (dir / "model.ckpt").string();
+    artifact = (dir / "model.dttart").string();
+    Rng rng(11);
+    nn::Transformer model(cfg, &rng);
+    if (!nn::SaveCheckpoint(ckpt, model.Params()).ok() ||
+        !io::ConvertCheckpointToArtifact(ckpt, artifact).ok()) {
+      std::fprintf(stderr, "BM_Load setup failed\n");
+      std::abort();
+    }
+  }
+};
+
+void BM_LoadCheckpoint(benchmark::State& state) {
+  static LoadBenchFiles files;
+  for (auto _ : state) {
+    Rng rng(0);
+    nn::Transformer model(files.cfg, &rng);
+    auto params = model.Params();
+    if (!nn::LoadCheckpoint(files.ckpt, &params).ok()) {
+      state.SkipWithError("LoadCheckpoint failed");
+      break;
+    }
+    benchmark::DoNotOptimize(params);
+  }
+}
+BENCHMARK(BM_LoadCheckpoint);
+
+void BM_LoadArtifact(benchmark::State& state) {
+  static LoadBenchFiles files;
+  for (auto _ : state) {
+    auto loaded = io::LoadArtifact(files.artifact, files.cfg,
+                                   {.verify_payload_checksum = false});
+    if (!loaded.ok()) {
+      state.SkipWithError("LoadArtifact failed");
+      break;
+    }
+    benchmark::DoNotOptimize(loaded.value().model);
+  }
+}
+BENCHMARK(BM_LoadArtifact);
 
 /// Console output plus collection of every run for the JSON document.
 class JsonTeeReporter : public benchmark::ConsoleReporter {

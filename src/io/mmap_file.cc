@@ -1,0 +1,72 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dtt {
+namespace io {
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      valid_(std::exchange(other.valid_, false)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    valid_ = std::exchange(other.valid_, false);
+  }
+  return *this;
+}
+
+void MmapFile::Reset() {
+  if (addr_ != nullptr && size_ > 0) {
+    ::munmap(addr_, size_);
+  }
+  addr_ = nullptr;
+  size_ = 0;
+  valid_ = false;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + err);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " + err);
+    }
+    file.addr_ = addr;
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point.
+  ::close(fd);
+  file.valid_ = true;
+  return file;
+}
+
+}  // namespace io
+}  // namespace dtt

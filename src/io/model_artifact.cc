@@ -1,0 +1,82 @@
+#include "io/model_artifact.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace dtt {
+namespace io {
+
+Status SaveArtifact(const std::string& path,
+                    const std::vector<nn::NamedParam>& params) {
+  ArtifactWriter writer;
+  for (const auto& p : params) {
+    const nn::Tensor& t = p.var.value();
+    writer.Add(p.name, t.shape(), t.data(), t.size());
+  }
+  return writer.Write(path);
+}
+
+Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
+                                   const std::string& artifact_path) {
+  DTT_ASSIGN_OR_RETURN(std::vector<nn::RawTensorData> tensors,
+                       nn::ReadCheckpointTensors(checkpoint_path));
+  ArtifactWriter writer;
+  for (const auto& t : tensors) {
+    writer.Add(t.name, t.shape, t.data.data(), t.data.size());
+  }
+  return writer.Write(artifact_path);
+}
+
+Status BindArtifact(const std::shared_ptr<ArtifactFile>& artifact,
+                    std::vector<nn::NamedParam>* params) {
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("BindArtifact: null artifact");
+  }
+  if (artifact->tensors().size() != params->size()) {
+    return Status::InvalidArgument(
+        "artifact has different parameter count (" +
+        std::to_string(artifact->tensors().size()) + " vs " +
+        std::to_string(params->size()) + ")");
+  }
+  // Validate everything before binding anything (no partial loads).
+  for (const auto& p : *params) {
+    const ArtifactTensor* t = artifact->Find(p.name);
+    if (t == nullptr) {
+      return Status::InvalidArgument("artifact is missing parameter: " +
+                                     p.name);
+    }
+    if (t->shape != p.var.value().shape()) {
+      return Status::InvalidArgument("shape mismatch for parameter: " +
+                                     p.name);
+    }
+    if (t->dtype != ArtifactDtype::kF32) {
+      return Status::InvalidArgument("unsupported dtype for parameter: " +
+                                     p.name);
+    }
+  }
+  for (auto& p : *params) {
+    const ArtifactTensor* t = artifact->Find(p.name);
+    // mutable_value() bumps the node's value_revision, so kernel providers'
+    // packed-weight caches (Linear::PackedFor) rebuild off the new storage.
+    p.var.mutable_value() = nn::Tensor::Borrowed(t->shape, t->data, t->size);
+  }
+  return Status::OK();
+}
+
+Result<ArtifactModel> LoadArtifact(const std::string& path,
+                                   const nn::TransformerConfig& cfg,
+                                   ArtifactOpenOptions options) {
+  DTT_ASSIGN_OR_RETURN(std::shared_ptr<ArtifactFile> artifact,
+                       ArtifactFile::Open(path, options));
+  // The Xavier/Gaussian init below is overwritten wholesale by the bind;
+  // the fixed seed just keeps construction deterministic.
+  Rng init_rng(0);
+  auto model = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  std::vector<nn::NamedParam> params = model->Params();
+  DTT_RETURN_NOT_OK(BindArtifact(artifact, &params));
+  return ArtifactModel{std::move(artifact), std::move(model)};
+}
+
+}  // namespace io
+}  // namespace dtt

@@ -1,0 +1,56 @@
+#ifndef DTT_IO_MODEL_ARTIFACT_H_
+#define DTT_IO_MODEL_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/artifact.h"
+#include "nn/checkpoint.h"
+#include "nn/transformer.h"
+
+namespace dtt {
+namespace io {
+
+/// Writes the parameters as one DTTART1 artifact (names and shapes exactly
+/// as CollectParams reports them — the same identity contract as
+/// nn::SaveCheckpoint).
+Status SaveArtifact(const std::string& path,
+                    const std::vector<nn::NamedParam>& params);
+
+/// Converts a DTTCKPT1 heap checkpoint into a DTTART1 artifact, tensor for
+/// tensor, without constructing a model (tools/ckpt_to_artifact wraps this
+/// as a CLI). The artifact round-trips bit-identically: LoadArtifact of the
+/// output binds exactly the float payloads LoadCheckpoint of the input
+/// copies.
+Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
+                                   const std::string& artifact_path);
+
+/// Re-binds every parameter in `params` to a read-only borrowed view
+/// (nn::Tensor::Borrowed) over `artifact`'s mapped payloads. Validates
+/// count, names, shapes, and dtype before touching anything — a non-OK
+/// return leaves `params` unchanged. The caller must keep `artifact` alive
+/// for as long as any bound parameter (or copy of one) is in use.
+Status BindArtifact(const std::shared_ptr<ArtifactFile>& artifact,
+                    std::vector<nn::NamedParam>* params);
+
+/// A transformer whose weights live in an mmap'd artifact. The handle owns
+/// both pieces; keep it (or at least `artifact`) alive while `model` runs.
+struct ArtifactModel {
+  std::shared_ptr<ArtifactFile> artifact;
+  std::shared_ptr<nn::Transformer> model;
+};
+
+/// Materializes a Transformer of configuration `cfg` whose weight tensors
+/// are mmap-backed read-only views into the DTTART1 file at `path` — the
+/// near-instant, page-cache-shared counterpart of constructing a model and
+/// nn::LoadCheckpoint'ing into it. The model is inference-only: optimizer
+/// steps (any in-place weight write) abort by the borrowed-tensor contract.
+Result<ArtifactModel> LoadArtifact(const std::string& path,
+                                   const nn::TransformerConfig& cfg,
+                                   ArtifactOpenOptions options = {});
+
+}  // namespace io
+}  // namespace dtt
+
+#endif  // DTT_IO_MODEL_ARTIFACT_H_

@@ -1,8 +1,10 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 namespace dtt {
 namespace nn {
@@ -10,13 +12,16 @@ namespace nn {
 namespace {
 constexpr char kMagic[8] = {'D', 'T', 'T', 'C', 'K', 'P', 'T', '1'};
 
+// Structural sanity bounds. A valid DTT checkpoint is nowhere near these;
+// a corrupt length field routinely is, and must fail typed instead of
+// driving a multi-gigabyte resize or a signed overflow.
+constexpr uint32_t kMaxTensors = 1u << 20;
+constexpr uint32_t kMaxNameLen = 1u << 12;
+constexpr uint32_t kMaxRank = 8;
+constexpr int kMaxDim = 1 << 28;
+
 void WriteU32(std::ostream& os, uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU32(std::istream& is, uint32_t* v) {
-  is.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(is);
 }
 
 void WriteString(std::ostream& os, const std::string& s) {
@@ -24,12 +29,37 @@ void WriteString(std::ostream& os, const std::string& s) {
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadString(std::istream& is, std::string* s) {
-  uint32_t n = 0;
-  if (!ReadU32(is, &n)) return false;
-  s->resize(n);
-  is.read(s->data(), static_cast<std::streamsize>(n));
-  return static_cast<bool>(is);
+/// Bounds-checked little cursor over the in-memory file image. Every read
+/// validates the remaining byte count first, so corrupt length fields can
+/// never walk past the buffer.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < sizeof(*v)) return false;
+    std::memcpy(v, data_ + pos_, sizeof(*v));
+    pos_ += sizeof(*v);
+    return true;
+  }
+
+  bool ReadBytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const std::string& what) {
+  return Status::IOError("truncated checkpoint: " + what);
 }
 }  // namespace
 
@@ -51,45 +81,106 @@ Status SaveCheckpoint(const std::string& path,
   return Status::OK();
 }
 
-Status LoadCheckpoint(const std::string& path,
-                      std::vector<NamedParam>* params) {
+Result<std::vector<RawTensorData>> ReadCheckpointTensors(
+    const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is) return Status::IOError("read failed: " + path);
+  const std::string bytes = buf.str();
+
+  ByteReader reader(bytes.data(), bytes.size());
   char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is || std::string(magic, 8) != std::string(kMagic, 8)) {
+  if (!reader.ReadBytes(magic, sizeof(magic))) return Truncated("magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad checkpoint magic in " + path);
   }
   uint32_t count = 0;
-  if (!ReadU32(is, &count)) return Status::IOError("truncated checkpoint");
+  if (!reader.ReadU32(&count)) return Truncated("tensor count");
+  if (count > kMaxTensors) {
+    return Status::InvalidArgument("implausible checkpoint tensor count: " +
+                                   std::to_string(count));
+  }
+
+  std::vector<RawTensorData> tensors;
+  tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RawTensorData t;
+    uint32_t name_len = 0;
+    if (!reader.ReadU32(&name_len)) return Truncated("name length");
+    if (name_len > kMaxNameLen) {
+      return Status::InvalidArgument("implausible parameter name length: " +
+                                     std::to_string(name_len));
+    }
+    // The name cannot be longer than what is left of the file — checked by
+    // ReadBytes, so resize(name_len) never allocates past the cap above.
+    t.name.resize(name_len);
+    if (!reader.ReadBytes(t.name.data(), name_len)) return Truncated("name");
+
+    uint32_t rank = 0;
+    if (!reader.ReadU32(&rank)) return Truncated("rank");
+    if (rank > kMaxRank) {
+      return Status::InvalidArgument("implausible tensor rank: " +
+                                     std::to_string(rank));
+    }
+    t.shape.resize(rank);
+    uint64_t numel = 1;
+    for (auto& d : t.shape) {
+      uint32_t v = 0;
+      if (!reader.ReadU32(&v)) return Truncated("shape");
+      if (v > static_cast<uint32_t>(kMaxDim)) {
+        return Status::InvalidArgument("implausible tensor dimension: " +
+                                       std::to_string(v));
+      }
+      d = static_cast<int>(v);
+      numel *= v;
+    }
+    if (rank == 0) numel = 0;
+    // Cheap and exact: the payload must fit in the unread tail of the file.
+    if (numel * sizeof(float) > reader.remaining()) {
+      return Truncated("tensor data for " + t.name);
+    }
+    t.data.resize(numel);
+    if (!reader.ReadBytes(t.data.data(), numel * sizeof(float))) {
+      return Truncated("tensor data for " + t.name);
+    }
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+
+Status LoadCheckpoint(const std::string& path,
+                      std::vector<NamedParam>* params) {
+  // Stage the whole file first: validation errors below must leave the
+  // destination parameters untouched (no partial loads).
+  DTT_ASSIGN_OR_RETURN(std::vector<RawTensorData> tensors,
+                       ReadCheckpointTensors(path));
 
   std::map<std::string, NamedParam*> by_name;
   for (auto& p : *params) by_name[p.name] = &p;
-  if (count != params->size()) {
+  if (tensors.size() != params->size()) {
     return Status::InvalidArgument("checkpoint has different parameter count");
   }
-  for (uint32_t i = 0; i < count; ++i) {
-    std::string name;
-    if (!ReadString(is, &name)) return Status::IOError("truncated checkpoint");
-    uint32_t rank = 0;
-    if (!ReadU32(is, &rank)) return Status::IOError("truncated checkpoint");
-    std::vector<int> shape(rank);
-    for (auto& d : shape) {
-      uint32_t v = 0;
-      if (!ReadU32(is, &v)) return Status::IOError("truncated checkpoint");
-      d = static_cast<int>(v);
-    }
-    auto it = by_name.find(name);
+  for (const auto& t : tensors) {
+    auto it = by_name.find(t.name);
     if (it == by_name.end()) {
-      return Status::InvalidArgument("unknown parameter in checkpoint: " + name);
+      return Status::InvalidArgument("unknown parameter in checkpoint: " +
+                                     t.name);
     }
-    Tensor& t = it->second->var.mutable_value();
-    if (t.shape() != shape) {
-      return Status::InvalidArgument("shape mismatch for parameter: " + name);
+    if (it->second->var.value().shape() != t.shape) {
+      return Status::InvalidArgument("shape mismatch for parameter: " + t.name);
     }
-    is.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    if (!is) return Status::IOError("truncated checkpoint data");
+  }
+  // Everything validated; commit.
+  for (auto& t : tensors) {
+    Tensor& dst = by_name[t.name]->var.mutable_value();
+    if (dst.borrowed()) {
+      // Re-bind: the previous value may be an artifact-backed view, which
+      // rejects in-place writes. Loading replaces the storage wholesale.
+      dst = Tensor(t.shape);
+    }
+    std::memcpy(dst.data(), t.data.data(), t.data.size() * sizeof(float));
   }
   return Status::OK();
 }

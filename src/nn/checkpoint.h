@@ -10,13 +10,33 @@
 namespace dtt {
 namespace nn {
 
+/// One tensor record of a DTTCKPT1 checkpoint, decoupled from any live
+/// model. The raw form the artifact converter (io/model_artifact.h)
+/// consumes without having to construct a Transformer first.
+struct RawTensorData {
+  std::string name;
+  std::vector<int> shape;
+  std::vector<float> data;
+};
+
 /// Writes parameters to a simple binary container:
 ///   magic "DTTCKPT1", u32 count, then per-param: name, shape, float data.
 Status SaveCheckpoint(const std::string& path,
                       const std::vector<NamedParam>& params);
 
+/// Parses every tensor record of a DTTCKPT1 file. Hardened against
+/// malformed input: wrong magic is InvalidArgument, any truncation is
+/// IOError, and structurally insane fields (oversized name, absurd rank,
+/// negative dims, element counts exceeding the file) are InvalidArgument —
+/// never UB, unbounded allocation, or a crash.
+Result<std::vector<RawTensorData>> ReadCheckpointTensors(
+    const std::string& path);
+
 /// Loads a checkpoint into existing parameters. Names and shapes must match
 /// exactly (the model must be constructed with the same config first).
+/// All-or-nothing: the file is fully parsed and validated (via
+/// ReadCheckpointTensors) before any parameter is written, so a non-OK
+/// return leaves `params` untouched — no silent partial loads.
 Status LoadCheckpoint(const std::string& path, std::vector<NamedParam>* params);
 
 }  // namespace nn

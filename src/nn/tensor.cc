@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace dtt {
@@ -42,18 +43,51 @@ Tensor Tensor::FromMatrix(int rows, int cols,
   return t;
 }
 
+Tensor Tensor::Borrowed(std::vector<int> shape, const float* data,
+                        size_t size) {
+  DTT_CHECK(size == NumElements(shape));
+  DTT_CHECK(data != nullptr || size == 0);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.span_ = data;
+  t.span_size_ = size;
+  return t;
+}
+
+Tensor Tensor::OwnedCopy() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_.assign(data(), data() + size());
+  return t;
+}
+
+void Tensor::DieBorrowedMutation() const {
+  DTT_LOGS(Error) << "attempted in-place mutation of a borrowed (read-only "
+                     "view) tensor "
+                  << ShapeString() << "; use OwnedCopy() to materialize";
+  std::abort();
+}
+
 void Tensor::Fill(float value) {
-  for (auto& v : data_) v = value;
+  float* d = mutable_data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) d[i] = value;
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* d = mutable_data();
+  const float* o = other.data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) d[i] += o[i];
 }
 
 void Tensor::AxpyInPlace(float alpha, const Tensor& b) {
   assert(SameShape(b));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * b.data_[i];
+  float* d = mutable_data();
+  const float* o = b.data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) d[i] += alpha * o[i];
 }
 
 Tensor Tensor::BatchSlice(int b) const {
@@ -61,20 +95,26 @@ Tensor Tensor::BatchSlice(int b) const {
   assert(b >= 0 && b < shape_[0]);
   Tensor out({shape_[1], shape_[2]});
   const size_t block = static_cast<size_t>(shape_[1]) * shape_[2];
-  const float* src = data_.data() + static_cast<size_t>(b) * block;
+  const float* src = data() + static_cast<size_t>(b) * block;
   for (size_t i = 0; i < block; ++i) out.data_[i] = src[i];
   return out;
 }
 
 float Tensor::Sum() const {
+  const float* d = data();
+  const size_t n = size();
   float s = 0.0f;
-  for (float v : data_) s += v;
+  for (size_t i = 0; i < n; ++i) s += d[i];
   return s;
 }
 
 float Tensor::L2Norm() const {
+  const float* d = data();
+  const size_t n = size();
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(d[i]) * d[i];
+  }
   return static_cast<float>(std::sqrt(s));
 }
 

@@ -4,6 +4,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace dtt {
 namespace serve {
 
@@ -22,7 +24,8 @@ struct ShardedLruCache::Shard {
   uint64_t evictions = 0;
 };
 
-ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
+ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards,
+                                 const std::string& metrics_prefix)
     : capacity_(std::max<size_t>(1, capacity)) {
   const size_t shards = std::min(
       capacity_, static_cast<size_t>(std::max(1, num_shards)));
@@ -33,6 +36,13 @@ ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
     // total never exceeds `capacity`.
     shard->capacity = capacity_ / shards + (i < capacity_ % shards ? 1 : 0);
     shards_.push_back(std::move(shard));
+  }
+  if (!metrics_prefix.empty()) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    hits_metric_ = metrics.GetCounter(metrics_prefix + ".hits");
+    misses_metric_ = metrics.GetCounter(metrics_prefix + ".misses");
+    insertions_metric_ = metrics.GetCounter(metrics_prefix + ".insertions");
+    evictions_metric_ = metrics.GetCounter(metrics_prefix + ".evictions");
   }
 }
 
@@ -48,9 +58,11 @@ std::optional<std::string> ShardedLruCache::Get(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    if (misses_metric_ != nullptr) misses_metric_->Increment();
     return std::nullopt;
   }
   ++shard.hits;
+  if (hits_metric_ != nullptr) hits_metric_->Increment();
   shard.order.splice(shard.order.begin(), shard.order, it->second);
   return it->second->second;
 }
@@ -68,10 +80,12 @@ void ShardedLruCache::Put(const std::string& key, std::string value) {
     shard.index.erase(shard.order.back().first);
     shard.order.pop_back();
     ++shard.evictions;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
   }
   shard.order.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.order.begin());
   ++shard.insertions;
+  if (insertions_metric_ != nullptr) insertions_metric_->Increment();
 }
 
 LruCacheStats ShardedLruCache::stats() const {

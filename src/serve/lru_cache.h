@@ -11,6 +11,10 @@
 #include <vector>
 
 namespace dtt {
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace serve {
 
 /// Aggregate counters of a ShardedLruCache (summed over shards).
@@ -37,8 +41,14 @@ struct LruCacheStats {
 class ShardedLruCache {
  public:
   /// `capacity` is the total entry budget across all shards (min 1 per
-  /// shard); `num_shards` is clamped to [1, capacity].
-  ShardedLruCache(size_t capacity, int num_shards = 8);
+  /// shard); `num_shards` is clamped to [1, capacity]. A non-empty
+  /// `metrics_prefix` additionally mirrors hit/miss/insertion/eviction
+  /// events onto obs::MetricsRegistry::Global() counters named
+  /// "<prefix>.hits", ".misses", ".insertions", ".evictions" (so they land
+  /// in every bench JSON metrics block); the per-shard counters behind
+  /// stats() are unaffected.
+  ShardedLruCache(size_t capacity, int num_shards = 8,
+                  const std::string& metrics_prefix = "");
   ~ShardedLruCache();  // out-of-line: Shard is incomplete here
 
   ShardedLruCache(const ShardedLruCache&) = delete;
@@ -65,6 +75,11 @@ class ShardedLruCache {
 
   size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Global obs mirrors (see the constructor); null when no prefix was given.
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* insertions_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 };
 
 }  // namespace serve

@@ -1,0 +1,204 @@
+#ifndef DTT_SERVE_MODEL_REGISTRY_H_
+#define DTT_SERVE_MODEL_REGISTRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/artifact.h"
+#include "nn/transformer.h"
+#include "serve/service.h"
+
+namespace dtt {
+namespace serve {
+
+/// A fully materialized registry backend: the model plus whatever keeps its
+/// weights alive, plus its accounted footprint. For artifact-backed models
+/// `keep_alive` is the mmap'd DTTART1 file the weight tensors view into;
+/// heap models leave it null.
+struct LoadedBackend {
+  std::shared_ptr<TextToTextModel> model;
+  std::shared_ptr<io::ArtifactFile> keep_alive;
+  /// Bytes this backend pins while resident (artifact file size for mmap
+  /// models, parameter bytes for heap models). Must be > 0 — it is the unit
+  /// of the registry's eviction accounting.
+  size_t resident_bytes = 0;
+};
+
+/// Materializes one backend on demand. Called outside the registry lock —
+/// it may mmap, parse, or read freely; only its result is installed under
+/// the lock.
+using BackendLoader = std::function<Result<LoadedBackend>()>;
+
+struct ModelRegistryOptions {
+  /// Eviction cap: total resident_bytes across loaded models. A load that
+  /// would exceed it first evicts cold models (LRU, never one with rows in
+  /// flight); if the cap still cannot be met, the load is refused with
+  /// Status::Unavailable — in-flight requests are never failed.
+  size_t max_resident_bytes = 256ull << 20;
+  /// Serving options for each model's TransformService (seed, queue knobs,
+  /// worker threads; backends[0] applies — one model per service).
+  ServeOptions serve;
+};
+
+/// Point-in-time per-model registry counters.
+struct ModelEntryStats {
+  std::string key;
+  bool resident = false;
+  size_t resident_bytes = 0;
+  size_t inflight = 0;   // rows pinning the model right now
+  uint64_t loads = 0;     // times materialized
+  uint64_t evictions = 0; // times unloaded by the cap
+};
+
+/// Aggregate registry counters (a snapshot; the live values are obs
+/// metrics: registry.load_ms, registry.resident_bytes, registry.evictions,
+/// registry.hits/misses/rejected).
+struct ModelRegistryStats {
+  size_t resident_bytes = 0;
+  size_t resident_models = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+  uint64_t hits = 0;      // submits that found the model resident
+  uint64_t misses = 0;    // submits that had to load first
+  uint64_t rejected = 0;  // typed Unavailable answers
+  std::vector<ModelEntryStats> models;
+};
+
+/// The serve-side multi-model front door: maps model keys to lazily-loaded
+/// backends and routes rows by key, turning one TransformService into a
+/// fleet.
+///
+///   * Register(key, loader) declares a model without loading it.
+///   * Submit(key, ...) materializes the backend on first use (the loader
+///     typically binds an mmap'd DTTART1 artifact via io::LoadArtifact,
+///     making cold starts near-instant), then forwards to that model's
+///     TransformService — micro-batching, dedup cache, and admission
+///     backpressure all apply per model exactly as in serve/service.h.
+///   * Every in-flight row pins its model (ref-count). When a load pushes
+///     total resident bytes over max_resident_bytes, cold models (pin count
+///     zero, least recently used first) are evicted; pinned models are
+///     never evicted and in-flight rows never fail. If the cap cannot be
+///     met the new load — and only it — is refused with a typed
+///     Status::Unavailable.
+///
+/// Thread-safe. Do not call Evict/the destructor from a completion
+/// callback (they destroy TransformServices, which join worker threads).
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+  /// Drains and destroys every resident backend.
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Declares `key`. InvalidArgument on duplicates. Nothing is loaded.
+  Status Register(const std::string& key, BackendLoader loader);
+
+  /// Routes one row to the model named `key` (loading it if cold) and
+  /// returns the future RowPrediction. `on_complete`, if given, fires on
+  /// the completing thread right after the future is fulfilled. Typed
+  /// errors: NotFound (unknown key), Unavailable (cap or admission
+  /// backpressure — retry later), anything the loader returns.
+  Result<std::future<RowPrediction>> Submit(
+      const std::string& key, const std::string& source,
+      const std::vector<ExamplePair>& examples,
+      std::function<void(const RowPrediction&)> on_complete = nullptr);
+
+  /// Materializes `key` now (same eviction/cap rules as Submit).
+  Status Preload(const std::string& key);
+
+  /// Unloads `key` if resident and unpinned. FailedPrecondition when rows
+  /// are in flight; OK (no-op) when already cold.
+  Status Evict(const std::string& key);
+
+  bool resident(const std::string& key) const;
+  ModelRegistryStats stats() const;
+  const ModelRegistryOptions& options() const { return options_; }
+
+ private:
+  /// One resident backend: the loaded model plus its dedicated service.
+  struct Resident {
+    LoadedBackend backend;
+    std::unique_ptr<TransformService> service;
+  };
+
+  struct Entry {
+    BackendLoader loader;
+    std::shared_ptr<Resident> resident;  // null when cold
+    bool loading = false;  // a loader call is in progress off-lock
+    size_t inflight = 0;
+    uint64_t last_used = 0;
+    uint64_t loads = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Ensures `entry` is resident, running the loader outside the lock and
+  /// applying the eviction/cap policy. Appends any evicted backends to
+  /// `retired` — the caller destroys them after unlocking. Requires `lock`
+  /// held on entry; holds it again on return.
+  Status EnsureResidentLocked(const std::string& key, Entry* entry,
+                              std::unique_lock<std::mutex>* lock,
+                              std::vector<std::shared_ptr<Resident>>* retired);
+
+  /// Evicts the least-recently-used cold entry (not `except`). Returns
+  /// false when nothing is evictable. Lock held.
+  bool EvictOneLocked(const Entry* except,
+                      std::vector<std::shared_ptr<Resident>>* retired);
+
+  void UpdateResidentGauges() const;
+
+  ModelRegistryOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable loading_cv_;
+  // std::map: node-based, so Entry addresses are stable across inserts —
+  // completion callbacks hold Entry* for the pin release.
+  std::map<std::string, Entry> entries_;
+  size_t resident_bytes_ = 0;
+  size_t resident_models_ = 0;
+  uint64_t tick_ = 0;
+  bool stopping_ = false;
+  // stats() snapshot counters, guarded by mu_. The same events are mirrored
+  // into the global obs metrics below so they land in bench JSON.
+  uint64_t loads_ = 0;
+  uint64_t evictions_total_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t rejected_ = 0;
+
+  // registry.* metrics on MetricsRegistry::Global() (stable pointers).
+  obs::Histogram* load_ms_metric_;
+  obs::Counter* loads_metric_;
+  obs::Gauge* resident_bytes_metric_;
+  obs::Gauge* resident_models_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* rejected_metric_;
+};
+
+/// A BackendLoader that mmaps the DTTART1 artifact at `path`, wraps the
+/// transformer in a NeuralSeq2SeqModel-compatible factory, and accounts the
+/// artifact's file size as the resident footprint. `make_model` turns the
+/// loaded transformer into the served TextToTextModel (serializer and
+/// decode options are model-policy, not registry-policy).
+BackendLoader ArtifactBackendLoader(
+    std::string path, nn::TransformerConfig config,
+    std::function<std::shared_ptr<TextToTextModel>(
+        std::shared_ptr<nn::Transformer>)>
+        make_model,
+    io::ArtifactOpenOptions open_options = {
+        .verify_payload_checksum = false});
+
+}  // namespace serve
+}  // namespace dtt
+
+#endif  // DTT_SERVE_MODEL_REGISTRY_H_

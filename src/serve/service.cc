@@ -78,7 +78,8 @@ TransformService::TransformService(
       paused_(options_.start_paused) {
   if (options_.cache.enabled) {
     cache_ = std::make_unique<ShardedLruCache>(options_.cache.capacity,
-                                               options_.cache.num_shards);
+                                               options_.cache.num_shards,
+                                               "serve.cache");
   }
   // num_threads <= 1 skips the worker pool entirely: batches run inline on
   // their backend's scheduler thread, so a default offline TransformAll

@@ -1,6 +1,7 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -146,6 +147,143 @@ TEST_F(CheckpointTest, LoadMissingFileFails) {
 TEST_F(CheckpointTest, SaveToUnwritablePathFails) {
   EXPECT_FALSE(
       SaveCheckpoint(TempFile("no_such_dir/ckpt.bin"), SmallParams()).ok());
+}
+
+TEST_F(CheckpointTest, TypedErrors) {
+  auto params = SmallParams();
+  EXPECT_EQ(LoadCheckpoint(TempFile("missing.bin"), &params).code(),
+            StatusCode::kIOError);
+
+  const std::string bad_magic = TempFile("bad_magic.bin");
+  {
+    std::ofstream os(bad_magic, std::ios::binary);
+    os << "NOTACKPTxxxxxxxxxxxxxxxx";
+  }
+  EXPECT_EQ(LoadCheckpoint(bad_magic, &params).code(),
+            StatusCode::kInvalidArgument);
+
+  const std::string truncated = TempFile("truncated.bin");
+  {
+    std::ofstream os(truncated, std::ios::binary);
+    os << "DTTCKPT1";  // magic only, count missing
+  }
+  EXPECT_EQ(LoadCheckpoint(truncated, &params).code(), StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, ReadCheckpointTensorsRoundTrip) {
+  const std::string path = TempFile("ckpt.bin");
+  auto saved = SmallParams();
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  auto read = ReadCheckpointTensors(path);
+  ASSERT_TRUE(read.ok());
+  const auto& tensors = read.value();
+  ASSERT_EQ(tensors.size(), saved.size());
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_EQ(tensors[i].name, saved[i].name);
+    EXPECT_EQ(tensors[i].shape, saved[i].var.value().shape());
+    ASSERT_EQ(tensors[i].data.size(), saved[i].var.value().size());
+    EXPECT_EQ(std::memcmp(tensors[i].data.data(), saved[i].var.value().data(),
+                          tensors[i].data.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST_F(CheckpointTest, LoadIntoBorrowedParamsRebindsOwnedStorage) {
+  const std::string path = TempFile("ckpt.bin");
+  auto saved = SmallParams();
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  // Destination params hold artifact-style borrowed views; loading must
+  // replace them with owned storage instead of writing through the view.
+  std::vector<float> embed_store(6, 9.0f);
+  std::vector<float> bias_store(3, -9.0f);
+  std::vector<NamedParam> dest;
+  dest.push_back(MakeParam(
+      "embed.w", Tensor::Borrowed({2, 3}, embed_store.data(), embed_store.size())));
+  dest.push_back(MakeParam(
+      "out.b", Tensor::Borrowed({3}, bias_store.data(), bias_store.size())));
+  ASSERT_TRUE(LoadCheckpoint(path, &dest).ok());
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_FALSE(dest[i].var.value().borrowed());
+    EXPECT_TENSOR_EQ(dest[i].var.value(), saved[i].var.value());
+  }
+  // The original storage was never written through.
+  EXPECT_EQ(embed_store[0], 9.0f);
+  EXPECT_EQ(bias_store[0], -9.0f);
+}
+
+/// Reads the whole file as bytes (the corpus tests mutate these).
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool TensorsBitIdentical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Corpus check: loading any corrupted variant must either fail typed and
+/// leave the destination untouched, or succeed — never crash, never commit
+/// a partial load. (Payload bit flips are undetectable by design: DTTCKPT1
+/// carries no checksum — that is the artifact format's job.)
+void ExpectAllOrNothing(const std::string& path) {
+  auto dest = SmallParamsOtherValues();
+  const auto before = SmallParamsOtherValues();
+  const Status status = LoadCheckpoint(path, &dest);
+  if (!status.ok()) {
+    for (size_t i = 0; i < dest.size(); ++i) {
+      EXPECT_TRUE(
+          TensorsBitIdentical(dest[i].var.value(), before[i].var.value()))
+          << "failed load mutated parameter " << dest[i].name;
+    }
+  } else {
+    // A load that passed validation must have committed every parameter
+    // with its declared shape intact.
+    for (size_t i = 0; i < dest.size(); ++i) {
+      EXPECT_EQ(dest[i].var.value().shape(), before[i].var.value().shape());
+    }
+  }
+}
+
+TEST_F(CheckpointTest, CorpusEveryTruncationFailsCleanly) {
+  const std::string path = TempFile("ckpt.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, SmallParams()).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  const std::string mutated = TempFile("mutated.bin");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(mutated, bytes.substr(0, len));
+    auto dest = SmallParamsOtherValues();
+    const Status status = LoadCheckpoint(mutated, &dest);
+    EXPECT_FALSE(status.ok()) << "truncation to " << len << " bytes loaded";
+    ExpectAllOrNothing(mutated);
+  }
+}
+
+TEST_F(CheckpointTest, CorpusEveryBitFlipIsAllOrNothing) {
+  const std::string path = TempFile("ckpt.bin");
+  ASSERT_TRUE(SaveCheckpoint(path, SmallParams()).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  const std::string mutated = TempFile("mutated.bin");
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << bit));
+      WriteFileBytes(mutated, flipped);
+      ExpectAllOrNothing(mutated);
+    }
+  }
 }
 
 }  // namespace

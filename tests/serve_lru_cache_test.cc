@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace dtt {
 namespace serve {
 namespace {
@@ -111,6 +113,41 @@ TEST(ServeLruCacheTest, ConcurrentGetPutIsSafe) {
   const LruCacheStats stats = cache.stats();
   // Every Get was counted exactly once: 333 gets per thread (i % 3 != 0).
   EXPECT_EQ(stats.hits + stats.misses, 4u * 333u);
+}
+
+TEST(ServeLruCacheTest, MirrorsCountersIntoGlobalMetrics) {
+  // A prefix unique to this test keeps the global registry assertions exact
+  // even when other suites in this process also touch metrics.
+  const std::string prefix = "test.lru_metrics_mirror";
+  auto& metrics = obs::MetricsRegistry::Global();
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1, prefix);
+
+  EXPECT_FALSE(cache.Get("a").has_value());  // miss
+  cache.Put("a", "1");                       // insertion
+  cache.Put("b", "2");                       // insertion
+  EXPECT_TRUE(cache.Get("a").has_value());   // hit
+  cache.Put("c", "3");                       // insertion + eviction of "b"
+
+  EXPECT_EQ(metrics.GetCounter(prefix + ".hits")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter(prefix + ".misses")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter(prefix + ".insertions")->Value(), 3u);
+  EXPECT_EQ(metrics.GetCounter(prefix + ".evictions")->Value(), 1u);
+
+  // The shard-local stats() counters are unchanged in meaning.
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ServeLruCacheTest, NoPrefixMeansNoGlobalMetrics) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  const uint64_t before = metrics.GetCounter("serve.cache.hits")->Value();
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", "1");
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_EQ(metrics.GetCounter("serve.cache.hits")->Value(), before);
 }
 
 }  // namespace

@@ -21,12 +21,18 @@ from pathlib import Path
 # spaces or parentheses don't occur in this repo; the regex stops at the
 # first ')' or whitespace, which also strips optional '"title"' suffixes.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)")
+# Code is not prose: a C++ lambda like `[](int x)` inside a fenced block or
+# inline span would otherwise parse as a markdown link.
+FENCED_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
 
 def check_file(md: Path, root: Path) -> list[str]:
     errors = []
     text = md.read_text(encoding="utf-8")
+    text = FENCED_RE.sub("", text)
+    text = INLINE_CODE_RE.sub("", text)
     for target in LINK_RE.findall(text):
         if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
             continue

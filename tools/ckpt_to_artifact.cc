@@ -1,0 +1,70 @@
+// CLI converter between the two model-weight containers:
+//
+//   ckpt_to_artifact <checkpoint.ckpt> <model.dttart>
+//       converts a DTTCKPT1 heap checkpoint into an aligned mmap-ready
+//       DTTART1 artifact (io/artifact.h), then re-opens the output with
+//       full checksum verification and prints its tensor table.
+//
+//   ckpt_to_artifact --check <model.dttart>
+//       opens and fully verifies an existing artifact (index + payload
+//       checksums, alignment, bounds) and prints its tensor table.
+//
+// Exit code 0 on success, 1 with a typed error message otherwise.
+#include <cstdio>
+#include <string>
+
+#include "io/model_artifact.h"
+
+namespace {
+
+int PrintArtifact(const std::string& path) {
+  auto opened = dtt::io::ArtifactFile::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const auto& artifact = *opened.value();
+  size_t total_elems = 0;
+  std::printf("%-40s %-14s %s\n", "tensor", "shape", "bytes");
+  for (const auto& t : artifact.tensors()) {
+    std::string shape = "[";
+    for (size_t i = 0; i < t.shape.size(); ++i) {
+      if (i) shape += ",";
+      shape += std::to_string(t.shape[i]);
+    }
+    shape += "]";
+    std::printf("%-40s %-14s %zu\n", t.name.c_str(), shape.c_str(),
+                t.size * sizeof(float));
+    total_elems += t.size;
+  }
+  std::printf(
+      "%zu tensors, %zu parameters, file %zu bytes, payload checksum "
+      "%016llx — OK\n",
+      artifact.tensors().size(), total_elems, artifact.file_bytes(),
+      static_cast<unsigned long long>(artifact.payload_checksum()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--check") {
+    return PrintArtifact(argv[2]);
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: ckpt_to_artifact <checkpoint.ckpt> <model.dttart>\n"
+                 "       ckpt_to_artifact --check <model.dttart>\n");
+    return 2;
+  }
+  const std::string in = argv[1];
+  const std::string out = argv[2];
+  const dtt::Status converted =
+      dtt::io::ConvertCheckpointToArtifact(in, out);
+  if (!converted.ok()) {
+    std::fprintf(stderr, "error: %s\n", converted.ToString().c_str());
+    return 1;
+  }
+  std::printf("converted %s -> %s\n", in.c_str(), out.c_str());
+  return PrintArtifact(out);
+}
