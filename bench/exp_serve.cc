@@ -36,6 +36,7 @@
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
+#include "text/vocab.h"
 #include "util/stopwatch.h"
 
 namespace dtt {
@@ -502,6 +503,213 @@ int Main() {
                    "the eviction path\n");
       return 1;
     }
+  }
+
+  // (f) Continuous token-level batching vs fixed micro-batching on a
+  // long-tail open-loop mix: 95% short decodes, 5% ten-times-longer ones,
+  // against a single slow neural backend. The fixed path convoys shorts
+  // behind whichever long decode shares (or precedes) their batch; the
+  // continuous path admits them into the running batch and retires them in
+  // a few steps. Bit-identity is asserted closed-loop first, then both
+  // paths are measured at the same offered rate.
+  PrintBanner("(f) continuous batching long-tail (95% short / 5% long)");
+  {
+    const int tail_requests = quick ? 40 : 120;
+    constexpr int kShortBudget = 8;
+    constexpr int kLongBudget = 80;  // 10x the short decode
+    auto is_long = [](int i) { return i % 20 == 19; };  // 5% of the stream
+
+    // The EOS logit is suppressed so every decode runs to its token budget:
+    // the leg measures scheduling under a controlled 95/5 length mix, not
+    // the tiny random model's organic (and short) decode lengths.
+    auto make_tail_model = [&] {
+      nn::TransformerConfig cfg;
+      cfg.dim = 32;
+      cfg.num_heads = 2;
+      cfg.ff_hidden = 64;
+      cfg.encoder_layers = 1;
+      cfg.decoder_layers = 1;
+      cfg.max_len = 128;
+      Rng init_rng(kSeed + 50);
+      auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+      for (auto& p : transformer->Params()) {
+        if (p.name == "model.lm_head.bias") {
+          p.var.mutable_value().data()[Vocab::kEos] -= 1e4f;
+        }
+      }
+      SerializerOptions sopts;
+      sopts.max_tokens = cfg.max_len;
+      NeuralModelOptions nopts;
+      nopts.max_output_tokens = kShortBudget;
+      return std::make_shared<NeuralSeq2SeqModel>(transformer,
+                                                  Serializer(sopts), nopts);
+    };
+
+    std::vector<std::string> tail_sources;
+    for (int i = 0; i < tail_requests; ++i) {
+      tail_sources.push_back("tail-" + std::to_string(i));  // nothing dedups
+    }
+
+    auto tail_options = [&](bool continuous, uint64_t seed) {
+      serve::ServeOptions sopts;
+      sopts.seed = seed;
+      sopts.num_threads = 2;
+      sopts.decomposer.num_trials = 1;
+      sopts.cache.enabled = false;  // every request decodes
+      sopts.max_pending_rows = tail_sources.size();
+      serve::BackendQueueOptions queue;
+      queue.max_batch = 8;
+      queue.continuous.enabled = continuous;
+      queue.continuous.max_slots = 8;
+      sopts.backends = {queue};
+      return sopts;
+    };
+
+    // Closed loop, both paths: the determinism contract (per-request outputs
+    // byte-identical to the retained fixed-batch path) plus the fixed
+    // throughput that anchors the open-loop offered rate.
+    std::vector<std::string> fixed_preds;
+    double tail_fixed_rows_per_sec = 0.0;
+    size_t tail_mismatches = 0;
+    for (const bool continuous : {false, true}) {
+      Rng rng(kSeed + 60);
+      serve::ServeOptions sopts = tail_options(continuous, rng.Next());
+      sopts.start_paused = true;
+      serve::TransformService service(make_tail_model(), sopts);
+      Stopwatch timer;
+      std::vector<std::future<RowPrediction>> futures;
+      for (int i = 0; i < tail_requests; ++i) {
+        serve::SubmitOptions submit;
+        submit.max_output_tokens = is_long(i) ? kLongBudget : kShortBudget;
+        futures.push_back(
+            service.Submit(tail_sources[static_cast<size_t>(i)], examples,
+                           submit)
+                .value());
+      }
+      service.Start();
+      std::vector<std::string> preds;
+      for (auto& f : futures) preds.push_back(f.get().prediction);
+      const double seconds = timer.Seconds();
+      if (!continuous) {
+        fixed_preds = std::move(preds);
+        tail_fixed_rows_per_sec =
+            static_cast<double>(tail_requests) / seconds;
+      } else {
+        for (size_t r = 0; r < preds.size(); ++r) {
+          if (preds[r] != fixed_preds[r]) ++tail_mismatches;
+        }
+        std::printf(
+            "closed loop: %d rows, %zu prediction mismatches vs fixed "
+            "batching\n",
+            tail_requests, tail_mismatches);
+      }
+    }
+    if (tail_mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: continuous batching diverges from the fixed-batch "
+                   "path\n");
+      return 1;
+    }
+
+    // Open loop at ~75% of the fixed path's closed-loop throughput, the
+    // same rate for both paths; latency stamped per request, shorts and
+    // the full stream tracked separately.
+    struct OpenLoopResult {
+      double seconds = 0.0;
+      obs::HistogramSnapshot all;
+      obs::HistogramSnapshot shorts;
+      serve::ServiceStats stats;
+    };
+    const double tail_offered = std::max(1.0, 0.75 * tail_fixed_rows_per_sec);
+    auto run_open = [&](bool continuous) {
+      Rng rng(kSeed + 61);
+      serve::TransformService service(make_tail_model(),
+                                      tail_options(continuous, rng.Next()));
+      obs::Histogram all_ms;
+      obs::Histogram short_ms;
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::chrono::duration<double> gap(1.0 / tail_offered);
+      Stopwatch timer;
+      for (int i = 0; i < tail_requests; ++i) {
+        const auto target = t0 + std::chrono::duration_cast<
+                                     std::chrono::steady_clock::duration>(
+                                     gap * static_cast<double>(i));
+        std::this_thread::sleep_until(target);
+        serve::SubmitOptions submit;
+        submit.max_output_tokens = is_long(i) ? kLongBudget : kShortBudget;
+        obs::Histogram* shorts_sink = is_long(i) ? nullptr : &short_ms;
+        const auto submitted = std::chrono::steady_clock::now();
+        auto admitted = service.Submit(
+            tail_sources[static_cast<size_t>(i)], examples, submit,
+            [submitted, &all_ms, shorts_sink](const RowPrediction&) {
+              const std::chrono::duration<double, std::milli> elapsed =
+                  std::chrono::steady_clock::now() - submitted;
+              all_ms.Record(elapsed.count());
+              if (shorts_sink != nullptr) shorts_sink->Record(elapsed.count());
+            });
+        if (!admitted.ok()) {
+          std::fprintf(stderr, "unexpected rejection: %s\n",
+                       admitted.status().message().c_str());
+        }
+      }
+      service.Drain();
+      OpenLoopResult result;
+      result.seconds = timer.Seconds();
+      result.all = all_ms.Snapshot();
+      result.shorts = short_ms.Snapshot();
+      result.stats = service.stats();
+      return result;
+    };
+
+    const OpenLoopResult tail_fixed = run_open(false);
+    const OpenLoopResult tail_cont = run_open(true);
+    auto report_tail = [&](const char* run_name, const OpenLoopResult& r,
+                           bool continuous) {
+      const double achieved =
+          static_cast<double>(r.all.count) / r.seconds;
+      std::printf(
+          "%s: offered %.1f rows/s, achieved %.1f rows/s; latency p50 "
+          "%.2f ms, p95 %.2f ms, p99 %.2f ms; short-request p99 %.2f ms\n",
+          continuous ? "continuous" : "fixed", tail_offered, achieved,
+          r.all.Percentile(0.50), r.all.Percentile(0.95),
+          r.all.Percentile(0.99), r.shorts.Percentile(0.99));
+      auto& run = report.AddRun(run_name)
+                      .Set("requests", static_cast<int64_t>(tail_requests))
+                      .Set("short_budget", static_cast<int64_t>(kShortBudget))
+                      .Set("long_budget", static_cast<int64_t>(kLongBudget))
+                      .Set("offered_rows_per_sec", tail_offered)
+                      .Set("achieved_rows_per_sec", achieved)
+                      .Set("seconds", r.seconds)
+                      .Set("latency_p50_ms", r.all.Percentile(0.50))
+                      .Set("latency_p95_ms", r.all.Percentile(0.95))
+                      .Set("latency_p99_ms", r.all.Percentile(0.99))
+                      .Set("short_latency_p50_ms", r.shorts.Percentile(0.50))
+                      .Set("short_latency_p99_ms", r.shorts.Percentile(0.99));
+      const serve::BackendStats& backend = r.stats.backends[0];
+      if (continuous) {
+        run.Set("cb_admitted", static_cast<int64_t>(backend.cb_admitted))
+            .Set("cb_admit_groups",
+                 static_cast<int64_t>(backend.cb_admit_groups))
+            .Set("cb_steps", static_cast<int64_t>(backend.cb_steps))
+            .Set("cb_evicted", static_cast<int64_t>(backend.cb_evicted));
+      } else {
+        run.Set("batches", static_cast<int64_t>(backend.batches))
+            .Set("mean_batch_size", backend.mean_batch_size);
+      }
+    };
+    report_tail("longtail_fixed", tail_fixed, false);
+    report_tail("longtail_continuous", tail_cont, true);
+    const double p99_speedup =
+        tail_cont.shorts.Percentile(0.99) > 0.0
+            ? tail_fixed.shorts.Percentile(0.99) /
+                  tail_cont.shorts.Percentile(0.99)
+            : 0.0;
+    std::printf("short-request p99 speedup (continuous vs fixed): %.2fx\n",
+                p99_speedup);
+    report.AddRun("longtail_summary")
+        .Set("short_p99_speedup", p99_speedup)
+        .Set("overall_p99_fixed_ms", tail_fixed.all.Percentile(0.99))
+        .Set("overall_p99_continuous_ms", tail_cont.all.Percentile(0.99));
   }
 
   const std::string json_path = report.Write();

@@ -10,6 +10,66 @@
 
 namespace dtt {
 
+/// A prompt prepared for token-level (continuous) decoding: the serialized
+/// input ids plus the effective decode-step budget, and the admission cost
+/// the serve scheduler charges against its `max_tokens_in_flight` budget
+/// (KV-cache footprint: input length + decode cap).
+struct PreparedPrompt {
+  std::vector<int> input_ids;
+  int max_steps = 0;
+  int cost = 0;
+};
+
+/// Construction knobs for NewStreamDecoder.
+struct StreamDecoderOptions {
+  /// Concurrent sequences the decoder can hold (KV-cache slots).
+  int max_slots = 8;
+};
+
+/// The step-resumable decode capability behind continuous batching: a
+/// persistent slotted decode batch that prompts enter as slots free up
+/// mid-decode. Backends that expose it (the neural transformer in greedy
+/// mode) are scheduled token-by-token by the serve layer's
+/// ContinuousBatcher; per-prompt outputs are bit-identical to Transform /
+/// TransformBatch for every admission schedule (the backend's determinism
+/// contract, enforced by serve_continuous_test).
+///
+/// Not thread-safe: one decoder belongs to one scheduler thread.
+class TokenStreamDecoder {
+ public:
+  /// A sequence that finished on the last Step: its (now freed) slot handle
+  /// and decoded output text.
+  struct Finished {
+    int slot = 0;
+    std::string output;
+  };
+
+  virtual ~TokenStreamDecoder() = default;
+
+  /// Validates and serializes `prompt` without touching decoder state.
+  /// Returns exactly the errors Transform would (so the scheduler can fail
+  /// invalid requests before admission).
+  virtual Result<PreparedPrompt> Prepare(const Prompt& prompt) const = 0;
+
+  /// Admits `group` into free slots — one shared encoder pass — and returns
+  /// one stable slot handle per prompt, in order. Requires
+  /// group.size() <= free_slots().
+  virtual std::vector<int> Admit(
+      const std::vector<PreparedPrompt>& group) = 0;
+
+  /// Advances every live sequence one token. Sequences that finished are
+  /// decoded to text, their slots freed, and returned.
+  virtual std::vector<Finished> Step() = 0;
+
+  /// Abandons a live sequence mid-decode, freeing its slot. Other slots are
+  /// unaffected.
+  virtual void Cancel(int slot) = 0;
+
+  virtual int max_slots() const = 0;
+  virtual int active_slots() const = 0;
+  int free_slots() const { return max_slots() - active_slots(); }
+};
+
 /// The text-in/text-out model abstraction of the DTT framework (§4.2): given
 /// a serialized prompt (k context examples + one source row), produce the
 /// predicted target row. An empty string means the model abstained (the
@@ -49,6 +109,17 @@ class TextToTextModel {
   /// internal atomic RNG) MUST override this to false or caching would
   /// collapse its independent trials into one repeated draw.
   virtual bool deterministic() const { return thread_safe(); }
+
+  /// Creates a step-resumable token-stream decoder over this model, the
+  /// capability probe for continuous batching. Returns nullptr when the
+  /// backend has no token-level decode loop to expose — the simulated
+  /// backends, and beam search (whose pruning is not prefix-stable) — in
+  /// which case the serve layer keeps fixed micro-batching.
+  virtual std::unique_ptr<TokenStreamDecoder> NewStreamDecoder(
+      const StreamDecoderOptions& options) {
+    (void)options;
+    return nullptr;
+  }
 };
 
 /// The shared error policy of the pipeline and the serving path: model

@@ -44,9 +44,23 @@ class NeuralSeq2SeqModel : public TextToTextModel {
   /// trains this model at the same time.
   bool thread_safe() const override { return true; }
 
+  /// Greedy mode exposes the step-resumable decoder (nn::DecodeSession)
+  /// behind the serve layer's continuous batching; per-prompt outputs are
+  /// bit-identical to Transform/TransformBatch for every admission schedule.
+  /// Beam mode returns nullptr (beam pruning is not prefix-stable), keeping
+  /// fixed micro-batching.
+  std::unique_ptr<TokenStreamDecoder> NewStreamDecoder(
+      const StreamDecoderOptions& options) override;
+
   nn::Transformer* model() { return model_.get(); }
 
  private:
+  /// Decode-step cap for one request: the prompt's own budget clamped to the
+  /// configured maximum (0 = use the maximum).
+  int EffectiveBudget(const Prompt& prompt) const;
+  /// Shared Transform-path validation: serialize or return the error.
+  Result<std::vector<int>> ValidateAndEncode(const Prompt& prompt) const;
+
   std::shared_ptr<nn::Transformer> model_;
   Serializer serializer_;
   ByteTokenizer tokenizer_;

@@ -1,0 +1,405 @@
+// The step-resumable decode engine behind continuous (token-level) batching.
+//
+// This is Transformer::GenerateBatch with its incremental state made
+// explicit and persistent: the same row-wise kernels (nn/infer_internal.h),
+// the same accumulation order, the same embed/attend/argmax step — but
+// sequences occupy stable KV-cache slots they can enter and leave mid-loop,
+// each carrying its own decoder position and step budget. Because every
+// kernel is row-wise, a sequence's tokens never depend on its batch-mates,
+// which is what makes the serve layer's continuous batcher bit-identical to
+// the run-to-completion path for every admission schedule
+// (nn_decode_session_test, serve_continuous_test).
+#include "nn/decode_session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "nn/infer_internal.h"
+#include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/vocab.h"
+
+namespace dtt {
+namespace nn {
+
+namespace {
+
+using internal::AffineRows;
+using internal::AttendRows;
+using internal::LayerNormRows;
+
+// Process-wide session counters, resolved once (see infer.cc).
+struct SessionMetrics {
+  obs::Counter* sessions;
+  obs::Counter* admitted;
+  obs::Counter* steps;
+  obs::Counter* compact_moves;
+  static const SessionMetrics& Get() {
+    static const SessionMetrics m{
+        obs::GlobalMetrics().GetCounter("nn.session.sessions"),
+        obs::GlobalMetrics().GetCounter("nn.session.admitted"),
+        obs::GlobalMetrics().GetCounter("nn.session.steps"),
+        obs::GlobalMetrics().GetCounter("nn.session.compact_moves"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DecodeSession> Transformer::NewDecodeSession(
+    DecodeSessionOptions options) const {
+  return std::unique_ptr<DecodeSession>(new DecodeSession(this, options));
+}
+
+DecodeSession::DecodeSession(const Transformer* model,
+                             DecodeSessionOptions options)
+    : model_(model), options_(options), kp_(&ActiveKernelProvider()) {
+  const TransformerConfig& cfg = model_->cfg_;
+  max_slots_ = std::max(1, options_.max_slots);
+  options_.max_steps = std::max(1, options_.max_steps);
+  // Decoder positions are bounded by both the step budget and the model's
+  // hard length limit, exactly as in GenerateBatch (<sos> is position 0).
+  cap_ = std::min(options_.max_steps + 1, cfg.max_len);
+  mem_cap_ = cfg.max_len;
+  d_ = cfg.dim;
+  layers_.resize(model_->decoder_.size());
+  for (LayerState& layer : layers_) {
+    layer.self_k = Tensor({max_slots_, cap_, d_});
+    layer.self_v = Tensor({max_slots_, cap_, d_});
+    layer.cross_k = Tensor({max_slots_, mem_cap_, d_});
+    layer.cross_v = Tensor({max_slots_, mem_cap_, d_});
+  }
+  slots_.resize(static_cast<size_t>(max_slots_));
+  free_handles_.reserve(static_cast<size_t>(max_slots_));
+  free_phys_.reserve(static_cast<size_t>(max_slots_));
+  for (int i = max_slots_ - 1; i >= 0; --i) {
+    free_handles_.push_back(i);
+    free_phys_.push_back(i);
+  }
+  SessionMetrics::Get().sessions->Increment();
+}
+
+DecodeSession::~DecodeSession() = default;
+
+int DecodeSession::AllocHandle() {
+  assert(!free_handles_.empty());
+  const int handle = free_handles_.back();
+  free_handles_.pop_back();
+  return handle;
+}
+
+void DecodeSession::FreePhys(int phys) {
+  // Keep the free list descending so the lowest physical row is reused
+  // first — allocation order is deterministic and stays dense.
+  free_phys_.insert(
+      std::upper_bound(free_phys_.begin(), free_phys_.end(), phys,
+                       std::greater<int>()),
+      phys);
+}
+
+std::vector<int> DecodeSession::Admit(const std::vector<Admission>& group) {
+  std::vector<int> handles;
+  if (group.empty()) return handles;
+  assert(static_cast<int>(group.size()) <= free_slots());
+  obs::TraceSpan span("nn", "nn.session_admit");
+  if (span.enabled()) {
+    span.Arg("group", static_cast<int64_t>(group.size()));
+    span.Arg("active", static_cast<int64_t>(active_));
+  }
+
+  // One shared padded encoder pass over the whole admission group — the
+  // exact encoder GenerateBatch runs, so each sequence's valid memory rows
+  // are bit-identical however the group is composed.
+  std::vector<std::vector<int>> inputs;
+  inputs.reserve(group.size());
+  for (const Admission& adm : group) {
+    assert(static_cast<int>(adm.input_ids.size()) <= mem_cap_);
+    inputs.push_back(adm.input_ids);
+  }
+  PaddedBatch enc = PaddedBatch::Pack(inputs);
+  Tensor memory = model_->EncodeBatch(enc).value();  // [G*Tm, D]
+  const int mem_len = enc.padded_len;
+
+  // Project the group's cross-attention K/V once per layer, then scatter
+  // each sequence's valid rows into its slot's cache region.
+  handles.reserve(group.size());
+  std::vector<int> phys_rows;
+  phys_rows.reserve(group.size());
+  for (size_t g = 0; g < group.size(); ++g) {
+    const int handle = AllocHandle();
+    assert(!free_phys_.empty());
+    const int phys = free_phys_.back();
+    free_phys_.pop_back();
+    Slot& slot = slots_[static_cast<size_t>(handle)];
+    slot.in_use = true;
+    slot.done = false;
+    slot.phys = phys;
+    slot.mem_len = enc.lengths[g];
+    slot.fed = 0;
+    slot.budget = group[g].max_steps > 0
+                      ? std::min(group[g].max_steps, options_.max_steps)
+                      : options_.max_steps;
+    slot.cur_token = Vocab::kSos;
+    slot.out.clear();
+    handles.push_back(handle);
+    phys_rows.push_back(phys);
+    ++active_;
+  }
+  Tensor proj_k, proj_v;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const MultiHeadAttention& cross = model_->decoder_[l]->cross_attn();
+    AffineRows(*kp_, memory, cross.wk(), &proj_k);
+    AffineRows(*kp_, memory, cross.wv(), &proj_v);
+    LayerState& layer = layers_[l];
+    for (size_t g = 0; g < group.size(); ++g) {
+      const size_t valid =
+          static_cast<size_t>(enc.lengths[g]) * static_cast<size_t>(d_);
+      const size_t src = static_cast<size_t>(g) *
+                         static_cast<size_t>(mem_len) *
+                         static_cast<size_t>(d_);
+      const size_t dst = static_cast<size_t>(phys_rows[g]) *
+                         static_cast<size_t>(mem_cap_) *
+                         static_cast<size_t>(d_);
+      std::memcpy(layer.cross_k.data() + dst, proj_k.data() + src,
+                  sizeof(float) * valid);
+      std::memcpy(layer.cross_v.data() + dst, proj_v.data() + src,
+                  sizeof(float) * valid);
+    }
+  }
+  stats_.admitted += group.size();
+  ++stats_.admit_groups;
+  SessionMetrics::Get().admitted->Add(group.size());
+  return handles;
+}
+
+int DecodeSession::Admit(const std::vector<int>& input_ids, int max_steps) {
+  return Admit(std::vector<Admission>{{input_ids, max_steps}})[0];
+}
+
+std::vector<int> DecodeSession::Step() {
+  live_.clear();
+  for (int h = 0; h < max_slots_; ++h) {
+    const Slot& slot = slots_[static_cast<size_t>(h)];
+    if (slot.in_use && !slot.done) live_.push_back(h);
+  }
+  std::vector<int> finished;
+  if (live_.empty()) return finished;
+  const int rows = static_cast<int>(live_.size());
+  obs::TraceSpan span("nn", "nn.session_step");
+  if (span.enabled()) span.Arg("rows", static_cast<int64_t>(rows));
+
+  const size_t self_stride =
+      static_cast<size_t>(cap_) * static_cast<size_t>(d_);
+  const size_t cross_stride =
+      static_cast<size_t>(mem_cap_) * static_cast<size_t>(d_);
+  self_bases_.resize(static_cast<size_t>(rows));
+  cross_bases_.resize(static_cast<size_t>(rows));
+  self_lens_.resize(static_cast<size_t>(rows));
+  cross_lens_.resize(static_cast<size_t>(rows));
+  x_ = Tensor({rows, d_});
+  const Tensor& embed = model_->embedding_.weight_value();
+  for (int r = 0; r < rows; ++r) {
+    const Slot& slot = slots_[static_cast<size_t>(live_[static_cast<size_t>(r)])];
+    self_bases_[static_cast<size_t>(r)] =
+        static_cast<size_t>(slot.phys) * self_stride;
+    cross_bases_[static_cast<size_t>(r)] =
+        static_cast<size_t>(slot.phys) * cross_stride;
+    // Attend over the slot's own prefix (positions 0..fed) — each sequence
+    // carries its own decoder position, unlike GenerateBatch's shared step.
+    self_lens_[static_cast<size_t>(r)] = slot.fed + 1;
+    cross_lens_[static_cast<size_t>(r)] = slot.mem_len;
+    // Embed the slot's current token at its own position.
+    const float* erow =
+        embed.data() + static_cast<size_t>(slot.cur_token) * d_;
+    float* xrow = x_.data() + static_cast<size_t>(r) * d_;
+    for (int j = 0; j < d_; ++j) {
+      xrow[j] = erow[j] + model_->positions_.at(slot.fed, j);
+    }
+  }
+
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const DecoderLayer& layer = *model_->decoder_[l];
+    LayerState& state = layers_[l];
+    // Self-attention over each slot's cached prefix.
+    LayerNormRows(x_, layer.ln1(), &n_);
+    AffineRows(*kp_, n_, layer.self_attn().wq(), &q_);
+    AffineRows(*kp_, n_, layer.self_attn().wk(), &k_);
+    AffineRows(*kp_, n_, layer.self_attn().wv(), &v_);
+    for (int r = 0; r < rows; ++r) {
+      const Slot& slot =
+          slots_[static_cast<size_t>(live_[static_cast<size_t>(r)])];
+      float* kdst = state.self_k.data() + self_bases_[static_cast<size_t>(r)] +
+                    static_cast<size_t>(slot.fed) * d_;
+      float* vdst = state.self_v.data() + self_bases_[static_cast<size_t>(r)] +
+                    static_cast<size_t>(slot.fed) * d_;
+      std::memcpy(kdst, k_.data() + static_cast<size_t>(r) * d_,
+                  sizeof(float) * static_cast<size_t>(d_));
+      std::memcpy(vdst, v_.data() + static_cast<size_t>(r) * d_,
+                  sizeof(float) * static_cast<size_t>(d_));
+    }
+    AttendRows(q_, layer.self_attn(), state.self_k.data(), state.self_v.data(),
+               self_bases_, self_lens_, &ctx_, &scores_buf_);
+    AffineRows(*kp_, ctx_, layer.self_attn().wo(), &attn_out_);
+    h1_ = x_;
+    h1_.AddInPlace(attn_out_);
+    // Cross-attention over the slot's valid encoder memory rows.
+    LayerNormRows(h1_, layer.ln2(), &n_);
+    AffineRows(*kp_, n_, layer.cross_attn().wq(), &q_);
+    AttendRows(q_, layer.cross_attn(), state.cross_k.data(),
+               state.cross_v.data(), cross_bases_, cross_lens_, &ctx_,
+               &scores_buf_);
+    AffineRows(*kp_, ctx_, layer.cross_attn().wo(), &attn_out_);
+    h2_ = h1_;
+    h2_.AddInPlace(attn_out_);
+    // Position-wise feed-forward.
+    LayerNormRows(h2_, layer.ln3(), &n_);
+    AffineRows(*kp_, n_, layer.ff().in_linear(), &ff_mid_);
+    for (size_t i = 0; i < ff_mid_.size(); ++i) {
+      if (ff_mid_.data()[i] < 0.0f) ff_mid_.data()[i] = 0.0f;
+    }
+    AffineRows(*kp_, ff_mid_, layer.ff().out_linear(), &ff_out_);
+    x_ = h2_;
+    x_.AddInPlace(ff_out_);
+  }
+
+  LayerNormRows(x_, model_->final_ln_, &n_);
+  AffineRows(*kp_, n_, model_->lm_head_, &logits_);  // [rows, V]
+  for (int r = 0; r < rows; ++r) {
+    const int handle = live_[static_cast<size_t>(r)];
+    Slot& slot = slots_[static_cast<size_t>(handle)];
+    const float* row =
+        logits_.data() + static_cast<size_t>(r) * logits_.cols();
+    int best = 0;
+    float best_v = row[0];
+    for (int j = 1; j < logits_.cols(); ++j) {
+      if (row[j] > best_v) {
+        best_v = row[j];
+        best = j;
+      }
+    }
+    bool done = false;
+    if (best == Vocab::kEos) {
+      done = true;
+    } else {
+      slot.out.push_back(best);
+      slot.cur_token = best;
+      // Same stopping rules as GenerateBatch: the prefix may not outgrow
+      // the model's length limit, and the sequence stops at its budget.
+      done = slot.fed + 2 >= mem_cap_ ||
+             static_cast<int>(slot.out.size()) >= slot.budget;
+    }
+    ++slot.fed;
+    if (done) {
+      slot.done = true;
+      FreePhys(slot.phys);
+      slot.phys = -1;
+      finished.push_back(handle);
+      ++stats_.finished;
+    }
+  }
+  ++stats_.steps;
+  SessionMetrics::Get().steps->Increment();
+  return finished;
+}
+
+bool DecodeSession::done(int slot) const {
+  assert(slot >= 0 && slot < max_slots_ &&
+         slots_[static_cast<size_t>(slot)].in_use);
+  return slots_[static_cast<size_t>(slot)].done;
+}
+
+const std::vector<int>& DecodeSession::output(int slot) const {
+  assert(slot >= 0 && slot < max_slots_ &&
+         slots_[static_cast<size_t>(slot)].in_use);
+  return slots_[static_cast<size_t>(slot)].out;
+}
+
+void DecodeSession::Release(int slot) {
+  assert(slot >= 0 && slot < max_slots_);
+  Slot& state = slots_[static_cast<size_t>(slot)];
+  if (!state.in_use) return;
+  if (state.phys >= 0) {
+    // Mid-decode eviction: the KV row is simply returned to the pool; no
+    // other slot references it.
+    FreePhys(state.phys);
+    state.phys = -1;
+    ++stats_.evictions;
+  }
+  state.in_use = false;
+  state.done = false;
+  state.out.clear();
+  free_handles_.insert(
+      std::upper_bound(free_handles_.begin(), free_handles_.end(), slot,
+                       std::greater<int>()),
+      slot);
+  --active_;
+}
+
+int DecodeSession::Compact() {
+  // Collect live physical rows in ascending order and slide each down to
+  // the lowest free index below it — the beam engine's gather-by-index
+  // copy (nn/beam.cc), with target < source always, so moves never clobber
+  // a row that has not been relocated yet.
+  std::vector<std::pair<int, int>> live_phys;  // (phys, handle)
+  for (int h = 0; h < max_slots_; ++h) {
+    const Slot& slot = slots_[static_cast<size_t>(h)];
+    if (slot.in_use && slot.phys >= 0) live_phys.emplace_back(slot.phys, h);
+  }
+  std::sort(live_phys.begin(), live_phys.end());
+  int moves = 0;
+  for (size_t i = 0; i < live_phys.size(); ++i) {
+    const int target = static_cast<int>(i);
+    const auto [phys, handle] = live_phys[i];
+    if (phys == target) continue;
+    Slot& slot = slots_[static_cast<size_t>(handle)];
+    const size_t self_rows =
+        static_cast<size_t>(slot.fed) * static_cast<size_t>(d_);
+    const size_t cross_rows =
+        static_cast<size_t>(slot.mem_len) * static_cast<size_t>(d_);
+    const size_t self_src = static_cast<size_t>(phys) *
+                            static_cast<size_t>(cap_) *
+                            static_cast<size_t>(d_);
+    const size_t self_dst = static_cast<size_t>(target) *
+                            static_cast<size_t>(cap_) *
+                            static_cast<size_t>(d_);
+    const size_t cross_src = static_cast<size_t>(phys) *
+                             static_cast<size_t>(mem_cap_) *
+                             static_cast<size_t>(d_);
+    const size_t cross_dst = static_cast<size_t>(target) *
+                             static_cast<size_t>(mem_cap_) *
+                             static_cast<size_t>(d_);
+    for (LayerState& layer : layers_) {
+      std::memcpy(layer.self_k.data() + self_dst,
+                  layer.self_k.data() + self_src, sizeof(float) * self_rows);
+      std::memcpy(layer.self_v.data() + self_dst,
+                  layer.self_v.data() + self_src, sizeof(float) * self_rows);
+      std::memcpy(layer.cross_k.data() + cross_dst,
+                  layer.cross_k.data() + cross_src,
+                  sizeof(float) * cross_rows);
+      std::memcpy(layer.cross_v.data() + cross_dst,
+                  layer.cross_v.data() + cross_src,
+                  sizeof(float) * cross_rows);
+    }
+    slot.phys = target;
+    ++moves;
+  }
+  // Rebuild the free list as everything above the live prefix.
+  free_phys_.clear();
+  for (int p = max_slots_ - 1; p >= static_cast<int>(live_phys.size()); --p) {
+    free_phys_.push_back(p);
+  }
+  if (moves > 0) {
+    stats_.compact_moves += static_cast<uint64_t>(moves);
+    SessionMetrics::Get().compact_moves->Add(static_cast<uint64_t>(moves));
+  }
+  return moves;
+}
+
+}  // namespace nn
+}  // namespace dtt

@@ -1,0 +1,166 @@
+#ifndef DTT_NN_DECODE_SESSION_H_
+#define DTT_NN_DECODE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dtt {
+namespace nn {
+
+class KernelProvider;
+class Transformer;
+
+/// Session construction knobs (see Transformer::NewDecodeSession).
+struct DecodeSessionOptions {
+  /// Concurrent sequences the session can hold (KV-cache slots).
+  int max_slots = 8;
+  /// Hard per-sequence decode-step cap; an admission's own budget may lower
+  /// it but never raise it. Sizes the per-slot self-attention cache.
+  int max_steps = 64;
+};
+
+/// Point-in-time session counters (monotonic over the session's lifetime).
+struct DecodeSessionStats {
+  uint64_t admitted = 0;       // sequences admitted
+  uint64_t admit_groups = 0;   // Admit calls (shared encoder passes)
+  uint64_t steps = 0;          // Step calls that advanced >= 1 sequence
+  uint64_t finished = 0;       // sequences that reached EOS or a cap
+  uint64_t evictions = 0;      // Release calls on a still-live sequence
+  uint64_t compact_moves = 0;  // physical KV rows moved by Compact
+};
+
+/// The step-resumable form of Transformer::GenerateBatch: a persistent
+/// slotted KV-cache batch that sequences enter and leave mid-decode.
+///
+/// GenerateBatch admits one fixed batch, runs it to completion, and throws
+/// its incremental state away. A DecodeSession owns that state explicitly —
+/// per-layer self-attention caches with one slot per resident sequence, the
+/// once-projected cross-attention K/V of each sequence's encoder memory —
+/// and exposes the decode step loop:
+///
+///   * Admit() encodes a group of prompts in one padded EncodeBatch pass
+///     (exactly GenerateBatch's encoder) and installs each sequence in a
+///     free slot with its own decode-step budget;
+///   * Step() advances every live sequence one token in lockstep, whatever
+///     mix of admission times and prefix lengths they have, and reports the
+///     sequences that finished (EOS, budget, or the model length cap);
+///   * Release() evicts a sequence — finished or mid-decode — freeing its
+///     slot for the next admission;
+///   * Compact() repacks the live KV rows into the lowest physical slots
+///     (the beam engine's gather-by-index move, nn/beam.cc), so a long-lived
+///     session stays dense; slot handles are stable across compaction.
+///
+/// Determinism contract: every kernel this session runs is row-wise (the
+/// shared nn/infer_internal.h kernels), so a sequence's tokens depend only
+/// on its own prompt and budget — never on which other sequences share the
+/// batch or when they were admitted. For any admission/eviction schedule the
+/// per-sequence outputs are bit-identical to GreedyDecode / GenerateBatch
+/// under a row-order-preserving kernel provider (scalar, vec_f32; enforced
+/// by nn_decode_session_test). int8 quantizes activations per-tensor across
+/// the resident batch and trades this identity for throughput, exactly as it
+/// does for GenerateBatch.
+///
+/// Not thread-safe: one session belongs to one decode thread (the serve
+/// layer gives each continuous backend its own).
+class DecodeSession {
+ public:
+  /// One admission: the serialized prompt plus an optional per-sequence
+  /// decode-step budget (0 = the session's max_steps).
+  struct Admission {
+    std::vector<int> input_ids;
+    int max_steps = 0;
+  };
+
+  ~DecodeSession();
+  DecodeSession(const DecodeSession&) = delete;
+  DecodeSession& operator=(const DecodeSession&) = delete;
+
+  /// Admits `group` into free slots through one shared padded encoder pass.
+  /// Returns one stable slot handle per admission, in order. Requires
+  /// group.size() <= free_slots() and every prompt within the model's input
+  /// length limit (callers validate; violations abort in debug builds).
+  std::vector<int> Admit(const std::vector<Admission>& group);
+
+  /// Single-sequence convenience overload.
+  int Admit(const std::vector<int>& input_ids, int max_steps = 0);
+
+  /// Advances every live sequence one token. Returns the handles that
+  /// finished on this step; their outputs stay readable until Release. A
+  /// finished sequence's physical KV row is freed immediately.
+  std::vector<int> Step();
+
+  /// True once `slot` has finished decoding (EOS, budget, or length cap).
+  bool done(int slot) const;
+
+  /// Generated token ids of `slot` so far (without <sos>/<eos>).
+  const std::vector<int>& output(int slot) const;
+
+  /// Frees `slot`. Valid on finished and live sequences alike; evicting a
+  /// live sequence abandons its decode without touching any other slot.
+  void Release(int slot);
+
+  /// Repacks live physical KV rows into the lowest slots, preserving their
+  /// relative order. Handles are unaffected. Returns the rows moved.
+  int Compact();
+
+  int max_slots() const { return max_slots_; }
+  int active_slots() const { return active_; }
+  int free_slots() const { return max_slots_ - active_; }
+  const DecodeSessionStats& stats() const { return stats_; }
+
+ private:
+  friend class Transformer;
+  DecodeSession(const Transformer* model, DecodeSessionOptions options);
+
+  struct Slot {
+    bool in_use = false;
+    bool done = false;
+    int phys = -1;     // physical KV row; -1 once finished or released
+    int mem_len = 0;   // valid encoder-memory rows
+    int fed = 0;       // tokens fed so far == next decoder position
+    int budget = 0;    // decode-step cap of this sequence
+    int cur_token = 0; // token to feed on the next step
+    std::vector<int> out;
+  };
+
+  // One decoder layer's resident caches, all slot-strided.
+  struct LayerState {
+    Tensor self_k;   // [slots, cap, D]
+    Tensor self_v;   // [slots, cap, D]
+    Tensor cross_k;  // [slots, mem_cap, D]
+    Tensor cross_v;  // [slots, mem_cap, D]
+  };
+
+  int AllocHandle();
+  void FreePhys(int phys);
+
+  const Transformer* model_;
+  DecodeSessionOptions options_;
+  const KernelProvider* kp_;  // resolved once; the session never mixes kernels
+  int max_slots_ = 0;
+  int cap_ = 0;      // self-cache positions per slot
+  int mem_cap_ = 0;  // cross-cache rows per slot (the model's max_len)
+  int d_ = 0;
+  int active_ = 0;
+  std::vector<LayerState> layers_;
+  std::vector<Slot> slots_;        // indexed by handle
+  std::vector<int> free_handles_;  // descending, so the lowest pops last
+  std::vector<int> free_phys_;     // descending, so the lowest pops last
+  DecodeSessionStats stats_;
+
+  // Step scratch, reused across calls.
+  std::vector<int> live_;
+  std::vector<size_t> self_bases_, cross_bases_;
+  std::vector<int> self_lens_, cross_lens_;
+  std::vector<float> scores_buf_;
+  Tensor x_, n_, q_, k_, v_, ctx_, attn_out_, h1_, h2_, ff_mid_, ff_out_,
+      logits_;
+};
+
+}  // namespace nn
+}  // namespace dtt
+
+#endif  // DTT_NN_DECODE_SESSION_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/attention.h"
+#include "nn/decode_session.h"
 
 namespace dtt {
 namespace nn {
@@ -154,6 +155,14 @@ class Transformer : public Module {
       const std::vector<std::vector<int>>& input_ids, int max_steps,
       int beam_size) const;
 
+  /// Creates a step-resumable greedy decode session over this model: a
+  /// persistent slotted KV-cache batch that sequences enter and leave
+  /// mid-decode (continuous batching). Per-sequence outputs are bit-exact
+  /// with GreedyDecode/GenerateBatch for every admission schedule under a
+  /// row-order-preserving kernel provider; see nn/decode_session.h.
+  std::unique_ptr<DecodeSession> NewDecodeSession(
+      DecodeSessionOptions options = {}) const;
+
   void CollectParams(const std::string& prefix,
                      std::vector<NamedParam>* out) override;
 
@@ -166,6 +175,8 @@ class Transformer : public Module {
   size_t NumParameters();
 
  private:
+  friend class DecodeSession;
+
   TransformerConfig cfg_;
   Embedding embedding_;  // shared between encoder and decoder inputs
   Tensor positions_;     // precomputed sinusoidal table [max_len, D]

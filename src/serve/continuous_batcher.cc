@@ -1,0 +1,206 @@
+#include "serve/continuous_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace dtt {
+namespace serve {
+
+namespace {
+
+/// Process-wide continuous-batching metrics (the per-backend view lives on
+/// the ContinuousBatcher's own counters, surfaced via stats()).
+struct CbMetrics {
+  obs::Counter* admitted;
+  obs::Counter* admit_groups;
+  obs::Counter* steps;
+  obs::Counter* evicted;
+  obs::Gauge* slots_active;
+  obs::Gauge* tokens_in_flight;
+  obs::Histogram* admit_group_size;
+
+  static const CbMetrics& Get() {
+    static const CbMetrics metrics = [] {
+      obs::MetricsRegistry& reg = obs::GlobalMetrics();
+      CbMetrics m;
+      m.admitted = reg.GetCounter("serve.cb.admitted");
+      m.admit_groups = reg.GetCounter("serve.cb.admit_groups");
+      m.steps = reg.GetCounter("serve.cb.steps");
+      m.evicted = reg.GetCounter("serve.cb.evicted");
+      m.slots_active = reg.GetGauge("serve.cb.slots_active");
+      m.tokens_in_flight = reg.GetGauge("serve.cb.tokens_in_flight");
+      m.admit_group_size = reg.GetHistogram("serve.cb.admit_group_size");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ContinuousBatcher::ContinuousBatcher(TransformService* service,
+                                     TransformService::Backend* backend,
+                                     std::unique_ptr<TokenStreamDecoder> decoder)
+    : service_(service), backend_(backend), decoder_(std::move(decoder)) {}
+
+ContinuousBatcher::~ContinuousBatcher() = default;
+
+void ContinuousBatcher::Loop() {
+  std::unique_lock<std::mutex> lock(backend_->mu);
+  for (;;) {
+    // pending_ and the decoder are touched only by this thread, so reading
+    // them in the predicate is race-free; cross-thread wakeups come from
+    // queue pushes, Start(), and shutdown, all of which notify the cv.
+    backend_->cv.wait(lock, [&] {
+      return service_->stopping_.load() ||
+             (!service_->paused_.load() &&
+              (!backend_->queue.empty() || !pending_.empty() ||
+               decoder_->active_slots() > 0));
+    });
+    if (backend_->queue.empty() && pending_.empty() &&
+        decoder_->active_slots() == 0) {
+      if (service_->stopping_.load()) return;
+      continue;  // spurious wake or paused
+    }
+    // Take every queued task; later arrivals get the next iteration (which
+    // follows immediately while anything is resident — no sleeping between
+    // steps, so admission latency is bounded by one decode step).
+    std::deque<TransformService::Task> raw;
+    raw.swap(backend_->queue);
+    lock.unlock();
+
+    PrepareArrivals(&raw);
+    AdmitPending();
+    if (decoder_->active_slots() > 0) StepOnce();
+
+    lock.lock();
+  }
+}
+
+void ContinuousBatcher::RecordQueueWait(const TransformService::Task& task) {
+  const auto now = std::chrono::steady_clock::now();
+  obs::GlobalMetrics()
+      .GetHistogram("serve.queue_wait_ms")
+      ->Record(std::chrono::duration<double, std::milli>(now - task.enqueued)
+                   .count());
+  if (obs::TracingEnabled()) {
+    obs::EmitSpan(
+        "serve", "serve.queue_wait", task.enqueued, now,
+        {obs::IntArg("request", static_cast<int64_t>(task.row->request)),
+         obs::IntArg("model", static_cast<int64_t>(task.model)),
+         obs::IntArg("trial", static_cast<int64_t>(task.trial))});
+  }
+}
+
+void ContinuousBatcher::PrepareArrivals(
+    std::deque<TransformService::Task>* raw) {
+  while (!raw->empty()) {
+    TransformService::Task task = std::move(raw->front());
+    raw->pop_front();
+    Result<PreparedPrompt> prepared = decoder_->Prepare(task.prompt);
+    if (!prepared.ok()) {
+      // Same error policy as the micro-batch path: model errors become
+      // abstentions, published through the full completion machinery.
+      RecordQueueWait(task);
+      service_->CompleteTask(backend_, task,
+                             OutputOrAbstain(prepared.status()));
+      continue;
+    }
+    pending_.push_back({std::move(task), std::move(prepared).value()});
+  }
+}
+
+void ContinuousBatcher::AdmitPending() {
+  const ContinuousOptions& opts = backend_->opts.continuous;
+  const CbMetrics& metrics = CbMetrics::Get();
+  while (!pending_.empty() && decoder_->free_slots() > 0) {
+    // Compose one admission group from the FIFO prefix: cut on free slots,
+    // or when the group's padded footprint would overflow the token budget.
+    const int free = decoder_->free_slots();
+    std::vector<PendingTask> group;
+    int group_max_input = 0;  // padded input length of the group so far
+    int group_caps = 0;       // sum of members' decode caps (<sos> included)
+    while (!pending_.empty() && static_cast<int>(group.size()) < free) {
+      const PreparedPrompt& next = pending_.front().prepared;
+      const int next_max_input = std::max(
+          group_max_input, static_cast<int>(next.input_ids.size()));
+      const int n = static_cast<int>(group.size()) + 1;
+      const int group_charge =
+          n * next_max_input + group_caps + next.max_steps + 1;
+      if (opts.max_tokens_in_flight > 0 &&
+          tokens_in_flight_ + group_charge > opts.max_tokens_in_flight &&
+          !(decoder_->active_slots() == 0 && group.empty())) {
+        // Budget full. An over-budget prompt still admits alone into an
+        // empty batch (the guard above), so nothing can starve.
+        break;
+      }
+      group_max_input = next_max_input;
+      group_caps += next.max_steps + 1;
+      group.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    if (group.empty()) break;  // budget-blocked behind residents
+
+    obs::TraceSpan span("serve", "serve.cb.admit");
+    if (span.enabled()) {
+      span.Arg("backend", backend_->model->name());
+      span.Arg("group", static_cast<int64_t>(group.size()));
+      span.Arg("active", static_cast<int64_t>(decoder_->active_slots()));
+      span.Arg("request0", static_cast<int64_t>(group[0].task.row->request));
+    }
+    std::vector<PreparedPrompt> prepared;
+    prepared.reserve(group.size());
+    for (PendingTask& member : group) {
+      RecordQueueWait(member.task);
+      prepared.push_back(std::move(member.prepared));
+    }
+    std::vector<int> slots = decoder_->Admit(prepared);
+    for (size_t i = 0; i < group.size(); ++i) {
+      // Every member is charged the group's padded input length plus its
+      // own decode cap — the packing rule's view of its KV footprint.
+      const int charge =
+          group_max_input + prepared[i].max_steps + 1;
+      tokens_in_flight_ += charge;
+      resident_[slots[i]] = {std::move(group[i].task), charge};
+    }
+    backend_->prompts.Add(group.size());
+    admitted_.Add(group.size());
+    admit_groups_.Increment();
+    metrics.admitted->Add(group.size());
+    metrics.admit_groups->Increment();
+    metrics.admit_group_size->Record(static_cast<double>(group.size()));
+    metrics.slots_active->Set(decoder_->active_slots());
+    metrics.tokens_in_flight->Set(tokens_in_flight_);
+  }
+}
+
+void ContinuousBatcher::StepOnce() {
+  const CbMetrics& metrics = CbMetrics::Get();
+  obs::TraceSpan span("serve", "serve.cb.step");
+  if (span.enabled()) {
+    span.Arg("backend", backend_->model->name());
+    span.Arg("active", static_cast<int64_t>(decoder_->active_slots()));
+  }
+  std::vector<TokenStreamDecoder::Finished> finished = decoder_->Step();
+  steps_.Increment();
+  metrics.steps->Increment();
+  for (TokenStreamDecoder::Finished& fin : finished) {
+    auto it = resident_.find(fin.slot);
+    ResidentTask resident = std::move(it->second);
+    resident_.erase(it);
+    tokens_in_flight_ -= resident.charge;
+    evicted_.Increment();
+    metrics.evicted->Increment();
+    service_->CompleteTask(backend_, resident.task, fin.output);
+  }
+  if (!finished.empty()) {
+    metrics.slots_active->Set(decoder_->active_slots());
+    metrics.tokens_in_flight->Set(tokens_in_flight_);
+  }
+}
+
+}  // namespace serve
+}  // namespace dtt

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "serve/continuous_batcher.h"
 
 namespace dtt {
 namespace serve {
@@ -66,6 +67,12 @@ std::string PromptCacheKey(size_t model_index, const Prompt& prompt) {
   }
   key += "|#";
   append(prompt.source);
+  // The decode budget is part of the prompt's identity: the same text under
+  // a smaller budget decodes to a (possibly shorter) different output.
+  if (prompt.max_output_tokens > 0) {
+    key += "|b";
+    key += std::to_string(prompt.max_output_tokens);
+  }
   return key;
 }
 
@@ -97,8 +104,26 @@ TransformService::TransformService(
     backends_.push_back(std::move(backend));
   }
   for (auto& backend : backends_) {
-    backend->scheduler =
-        std::thread([this, b = backend.get()] { SchedulerLoop(b); });
+    // Capability probe for continuous batching: opted-in backends whose
+    // model exposes a TokenStreamDecoder get the token-level scheduler;
+    // everything else (simulated backends, beam mode) keeps micro-batching.
+    if (backend->opts.continuous.enabled) {
+      StreamDecoderOptions stream_options;
+      stream_options.max_slots = std::max(1, backend->opts.continuous.max_slots);
+      if (auto decoder = backend->model->NewStreamDecoder(stream_options)) {
+        backend->continuous = std::make_unique<ContinuousBatcher>(
+            this, backend.get(), std::move(decoder));
+      }
+    }
+  }
+  for (auto& backend : backends_) {
+    backend->scheduler = std::thread([this, b = backend.get()] {
+      if (b->continuous) {
+        b->continuous->Loop();
+      } else {
+        SchedulerLoop(b);
+      }
+    });
   }
 }
 
@@ -139,6 +164,13 @@ void TransformService::Drain() {
 
 Result<std::future<RowPrediction>> TransformService::Submit(
     const std::string& source, const std::vector<ExamplePair>& examples,
+    std::function<void(const RowPrediction&)> on_complete) {
+  return Submit(source, examples, SubmitOptions{}, std::move(on_complete));
+}
+
+Result<std::future<RowPrediction>> TransformService::Submit(
+    const std::string& source, const std::vector<ExamplePair>& examples,
+    const SubmitOptions& submit_options,
     std::function<void(const RowPrediction&)> on_complete) {
   obs::TraceSpan span("serve", "serve.submit");
   uint64_t request_index = 0;
@@ -183,6 +215,13 @@ Result<std::future<RowPrediction>> TransformService::Submit(
   for (size_t m = 0; m < models_.size(); ++m) {
     Rng model_rng = row_rng.Fork(static_cast<uint64_t>(m));
     prompts[m] = decomposer_.MakePrompts(source, examples, &model_rng);
+    if (submit_options.max_output_tokens > 0) {
+      // Stamp the per-request decode budget before cache keys are derived —
+      // it is part of the prompt's identity.
+      for (Prompt& prompt : prompts[m]) {
+        prompt.max_output_tokens = submit_options.max_output_tokens;
+      }
+    }
     total += prompts[m].size();
   }
   row->outputs.resize(models_.size());
@@ -342,23 +381,28 @@ void TransformService::RunBatch(Backend* backend, std::vector<Task> batch) {
     Task& task = batch[i];
     const std::string output =
         i < results.size() ? OutputOrAbstain(results[i]) : std::string();
-    std::vector<WaitingSlot> waiters;
-    if (!task.key.empty()) {
-      // Publish to the cache BEFORE dropping the inflight entry: a Submit
-      // that misses the cache is then guaranteed to either join the entry
-      // or hit the cache on its locked re-check.
-      cache_->Put(task.key, output);
-      std::lock_guard<std::mutex> lock(backend->mu);
-      auto it = backend->inflight.find(task.key);
-      if (it != backend->inflight.end()) {
-        waiters = std::move(it->second);
-        backend->inflight.erase(it);
-      }
+    CompleteTask(backend, task, output);
+  }
+}
+
+void TransformService::CompleteTask(Backend* backend, Task& task,
+                                    const std::string& output) {
+  std::vector<WaitingSlot> waiters;
+  if (!task.key.empty()) {
+    // Publish to the cache BEFORE dropping the inflight entry: a Submit
+    // that misses the cache is then guaranteed to either join the entry
+    // or hit the cache on its locked re-check.
+    cache_->Put(task.key, output);
+    std::lock_guard<std::mutex> lock(backend->mu);
+    auto it = backend->inflight.find(task.key);
+    if (it != backend->inflight.end()) {
+      waiters = std::move(it->second);
+      backend->inflight.erase(it);
     }
-    FillSlot(task.row, task.model, task.trial, output);
-    for (const WaitingSlot& waiter : waiters) {
-      FillSlot(waiter.row, waiter.model, waiter.trial, output);
-    }
+  }
+  FillSlot(task.row, task.model, task.trial, output);
+  for (const WaitingSlot& waiter : waiters) {
+    FillSlot(waiter.row, waiter.model, waiter.trial, output);
   }
 }
 
@@ -418,6 +462,13 @@ ServiceStats TransformService::stats() const {
         bs.batches == 0
             ? 0.0
             : static_cast<double>(bs.prompts) / static_cast<double>(bs.batches);
+    if (backend->continuous) {
+      bs.continuous = true;
+      bs.cb_admitted = backend->continuous->admitted();
+      bs.cb_admit_groups = backend->continuous->admit_groups();
+      bs.cb_steps = backend->continuous->steps();
+      bs.cb_evicted = backend->continuous->evicted();
+    }
     stats.backends.push_back(bs);
   }
   return stats;

@@ -28,6 +28,35 @@
 namespace dtt {
 namespace serve {
 
+class ContinuousBatcher;
+
+/// Per-request Submit knobs.
+struct SubmitOptions {
+  /// Decode-step budget applied to every prompt of this row; 0 = each
+  /// backend's configured maximum (see Prompt::max_output_tokens).
+  int max_output_tokens = 0;
+};
+
+/// Continuous (token-level) batching knobs of one backend. When enabled and
+/// the backend's model exposes a TokenStreamDecoder (the neural transformer
+/// in greedy mode), the backend's scheduler runs the decode step loop
+/// instead of fixed micro-batches: queued prompts are admitted into KV-cache
+/// slots freed by finished sequences mid-decode, so one long decode no
+/// longer convoys its batch-mates. Backends without the capability silently
+/// keep micro-batching. Per-request outputs are bit-identical either way
+/// (serve_continuous_test).
+struct ContinuousOptions {
+  bool enabled = false;
+  /// Resident sequences the decode batch can hold (KV-cache slots).
+  int max_slots = 8;
+  /// Token budget across resident sequences, charged at each sequence's
+  /// padded KV footprint (padded input length + decode cap); admissions
+  /// wait once the budget is full. 0 = slots are the only bound. A prompt
+  /// too big for the budget still admits alone into an empty batch rather
+  /// than starving.
+  int max_tokens_in_flight = 0;
+};
+
 /// Micro-batching knobs of one backend queue. Every attached model gets its
 /// own queue so a slow neural backend and fast simulated backends overlap
 /// instead of convoying behind each other.
@@ -40,6 +69,8 @@ struct BackendQueueOptions {
   /// pending as soon as the scheduler wakes (lowest latency, thinnest
   /// batches under trickle traffic).
   double max_wait_ms = 0.0;
+  /// Token-level scheduling; ignored by backends without the capability.
+  ContinuousOptions continuous;
 };
 
 /// Prompt-dedup result cache configuration.
@@ -84,6 +115,12 @@ struct BackendStats {
   uint64_t batches = 0;        // TransformBatch dispatches
   uint64_t prompts = 0;        // prompts decoded by the model
   double mean_batch_size = 0.0;
+  /// Continuous-batching counters; all zero on micro-batching backends.
+  bool continuous = false;
+  uint64_t cb_admitted = 0;      // sequences admitted into slots
+  uint64_t cb_admit_groups = 0;  // admission groups (shared encoder passes)
+  uint64_t cb_steps = 0;         // decode steps run
+  uint64_t cb_evicted = 0;       // sequences that left their slot
 };
 
 /// Aggregate service counters. A snapshot: stats() assembles it from the
@@ -148,6 +185,12 @@ class TransformService {
       const std::string& source, const std::vector<ExamplePair>& examples,
       std::function<void(const RowPrediction&)> on_complete = nullptr);
 
+  /// Submit with per-request options (e.g. a decode budget).
+  Result<std::future<RowPrediction>> Submit(
+      const std::string& source, const std::vector<ExamplePair>& examples,
+      const SubmitOptions& submit_options,
+      std::function<void(const RowPrediction&)> on_complete = nullptr);
+
   /// Releases the schedulers of a start_paused service. No-op otherwise.
   void Start();
 
@@ -198,13 +241,23 @@ class TransformService {
     /// key -> slots piggybacking on the first in-flight decode of that key.
     std::unordered_map<std::string, std::vector<WaitingSlot>> inflight;
     std::thread scheduler;
+    /// Present when this backend runs the continuous (token-level) path; its
+    /// Loop() then replaces SchedulerLoop on the scheduler thread.
+    std::unique_ptr<ContinuousBatcher> continuous;
     // Atomic so stats() reads them while RunBatch increments (no mutex).
     obs::Counter batches;
     obs::Counter prompts;
   };
 
+  friend class ContinuousBatcher;
+
   void SchedulerLoop(Backend* backend);
   void RunBatch(Backend* backend, std::vector<Task> batch);
+  /// Retires one decoded task: publishes to the cache, releases dedup
+  /// waiters (cache Put strictly before the inflight erase), and fills the
+  /// task's and every waiter's row slot. Shared by the micro-batch and
+  /// continuous paths; callers must not hold backend->mu.
+  void CompleteTask(Backend* backend, Task& task, const std::string& output);
   void FillSlot(const std::shared_ptr<RowState>& row, size_t model,
                 size_t trial, const std::string& output);
   void FinalizeRow(const std::shared_ptr<RowState>& row);
@@ -236,8 +289,9 @@ class TransformService {
 };
 
 /// The exact serialized identity of a prompt headed for backend
-/// `model_index`: length-prefixed fields, so distinct prompts can never
-/// collide. This is the dedup/cache key.
+/// `model_index`: length-prefixed fields plus the decode budget, so distinct
+/// prompts (or the same text under different budgets, which may decode to
+/// different prefixes) can never collide. This is the dedup/cache key.
 std::string PromptCacheKey(size_t model_index, const Prompt& prompt);
 
 }  // namespace serve

@@ -14,6 +14,11 @@ namespace dtt {
 struct Prompt {
   std::vector<ExamplePair> examples;
   std::string source;
+  /// Per-request decode-step budget; 0 = the backend's configured maximum.
+  /// A positive value caps the generated tokens at min(budget, backend max).
+  /// Greedy decoding is prefix-stable, so capping is bit-identical to
+  /// truncating the uncapped decode; beam requests bucket by budget instead.
+  int max_output_tokens = 0;
 };
 
 /// Serialization options; `max_tokens` is the model's input-length budget

@@ -361,7 +361,7 @@ TEST_F(ObsTraceTest, ServedRequestProducesConnectedSpanTree) {
   Rng rng(seed);
   sopts.seed = rng.Next();
   sopts.num_threads = 2;
-  sopts.backends = {{4, 0.0}, {4, 0.0}};
+  sopts.backends = {{4, 0.0, {}}, {4, 0.0, {}}};
   std::vector<RowPrediction> served;
   {
     serve::TransformService service(models, sopts);

@@ -1,0 +1,485 @@
+// The determinism + long-tail battery for continuous (token-level) batching.
+//
+// The contract under test: with ContinuousOptions enabled, the neural
+// backend's scheduler admits prompts into KV-cache slots freed mid-decode —
+// and every request's output stays byte-identical to the retained
+// run-to-completion micro-batch path, for every arrival schedule, slot
+// count, token budget, and thread configuration. The oracle in each test is
+// the same service with continuous batching disabled (which serve_service
+// pins to the PR 2 fixed-batch path).
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/neural_model.h"
+#include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DTT_UNDER_SANITIZER 1
+#endif
+#if !defined(DTT_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DTT_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace dtt {
+namespace serve {
+namespace {
+
+std::vector<ExamplePair> NameExamples() {
+  return {{"Justin Trudeau", "jtrudeau"}, {"Stephen Harper", "sharper"},
+          {"Paul Martin", "pmartin"},     {"Jean Chretien", "jchretien"},
+          {"John Turner", "jturner"},     {"Joe Clark", "jclark"},
+          {"Lester Pearson", "lpearson"}};
+}
+
+std::vector<std::string> NameSources() {
+  return {"Kim Campbell",     "Brian Mulroney",   "Pierre Trudeau",
+          "John Diefenbaker", "Louis St Laurent", "Mackenzie King",
+          "Arthur Meighen",   "Robert Borden"};
+}
+
+/// A tiny randomly-initialized neural backend (greedy): big enough that
+/// decodes take many steps, small enough that the battery stays fast.
+std::shared_ptr<NeuralSeq2SeqModel> TinyNeuralModel(uint64_t seed,
+                                                    int max_output_tokens) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 128;
+  Rng init_rng(seed);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = max_output_tokens;
+  return std::make_shared<NeuralSeq2SeqModel>(transformer, Serializer(sopts),
+                                              nopts);
+}
+
+struct ScheduleRequest {
+  std::string source;
+  int max_output_tokens = 0;  // 0 = backend default
+  int arrival_jitter_us = 0;  // sleep before submitting (arrival schedule)
+};
+
+/// Submits every request in order (sleeping its jitter first) and returns
+/// the predictions in submission order.
+std::vector<std::string> RunSchedule(TransformService* service,
+                                     const std::vector<ScheduleRequest>& reqs,
+                                     const std::vector<ExamplePair>& examples) {
+  std::vector<std::future<RowPrediction>> futures;
+  futures.reserve(reqs.size());
+  for (const ScheduleRequest& req : reqs) {
+    if (req.arrival_jitter_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(req.arrival_jitter_us));
+    }
+    SubmitOptions submit;
+    submit.max_output_tokens = req.max_output_tokens;
+    auto admitted = service->Submit(req.source, examples, submit);
+    EXPECT_TRUE(admitted.ok()) << admitted.status().message();
+    futures.push_back(std::move(admitted.value()));
+  }
+  std::vector<std::string> outputs;
+  outputs.reserve(futures.size());
+  for (auto& future : futures) outputs.push_back(future.get().prediction);
+  return outputs;
+}
+
+ServeOptions BaseOptions(uint64_t seed) {
+  ServeOptions opts;
+  opts.decomposer.num_trials = 2;
+  opts.seed = seed;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// The core property/stress test: randomized arrival schedules × mixed decode
+// budgets × slot counts × thread counts, every one byte-identical to the
+// continuous-disabled oracle service.
+// ---------------------------------------------------------------------------
+TEST(ServeContinuousTest, BitIdenticalToFixedBatchOracleAcrossSchedules) {
+  const auto examples = NameExamples();
+  const auto sources = NameSources();
+  const uint64_t model_seed = 727;
+  const uint64_t service_seed = 9001;
+
+  struct Config {
+    int max_slots;
+    int max_tokens_in_flight;
+    int num_threads;
+    bool cache;
+  };
+  const std::vector<Config> configs = {
+      {1, 0, 1, true},     // degenerate: one slot, strictly sequential
+      {2, 120, 1, true},   // tight token budget forces admission waits
+      {4, 0, 4, true},     // slots + worker threads
+      {8, 400, 2, false},  // all slots, budgeted, no cache
+  };
+  // >= 3 randomized schedules: budgets and arrival jitter drawn per seed.
+  for (const uint64_t schedule_seed : {111u, 222u, 333u}) {
+    Rng schedule_rng(schedule_seed);
+    std::vector<ScheduleRequest> reqs;
+    for (size_t r = 0; r < sources.size(); ++r) {
+      ScheduleRequest req;
+      req.source = sources[r];
+      // Mixed decode lengths: mostly short, some 6x long.
+      req.max_output_tokens = schedule_rng.NextBounded(4) == 0 ? 24 : 4;
+      req.arrival_jitter_us =
+          static_cast<int>(schedule_rng.NextBounded(3)) * 200;
+      reqs.push_back(req);
+    }
+
+    // Oracle: identical service, continuous disabled (fixed micro-batches).
+    std::vector<std::string> oracle;
+    {
+      auto model = TinyNeuralModel(model_seed, 24);
+      ServeOptions opts = BaseOptions(service_seed);
+      opts.backends = {{4, 0.0, {}}};
+      TransformService service(model, opts);
+      oracle = RunSchedule(&service, reqs, examples);
+    }
+    ASSERT_EQ(oracle.size(), reqs.size());
+
+    for (const Config& config : configs) {
+      auto model = TinyNeuralModel(model_seed, 24);
+      ServeOptions opts = BaseOptions(service_seed);
+      opts.num_threads = config.num_threads;
+      opts.cache.enabled = config.cache;
+      BackendQueueOptions queue;
+      queue.continuous.enabled = true;
+      queue.continuous.max_slots = config.max_slots;
+      queue.continuous.max_tokens_in_flight = config.max_tokens_in_flight;
+      opts.backends = {queue};
+      TransformService service(model, opts);
+      std::vector<std::string> got = RunSchedule(&service, reqs, examples);
+      for (size_t r = 0; r < reqs.size(); ++r) {
+        EXPECT_EQ(got[r], oracle[r])
+            << "request " << r << " schedule " << schedule_seed << " slots "
+            << config.max_slots << " budget "
+            << config.max_tokens_in_flight << " threads "
+            << config.num_threads;
+      }
+      // The continuous path must actually have served this backend.
+      ServiceStats stats = service.stats();
+      ASSERT_EQ(stats.backends.size(), 1u);
+      EXPECT_TRUE(stats.backends[0].continuous);
+      EXPECT_GT(stats.backends[0].cb_admitted, 0u);
+      EXPECT_EQ(stats.backends[0].cb_admitted, stats.backends[0].cb_evicted);
+      EXPECT_GT(stats.backends[0].cb_steps, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The seeded adversarial schedule: one long decode holds a slot while short
+// requests arrive, forcing (a) admission into a running batch, (b) slot
+// reuse after the shorts finish, and (c) eviction of finished sequences with
+// KV-row compaction behind them — all in one run, still byte-identical.
+// ---------------------------------------------------------------------------
+TEST(ServeContinuousTest, AdversarialScheduleMidDecodeAdmissionAndCompaction) {
+  const auto examples = NameExamples();
+  const uint64_t model_seed = 901;
+  const uint64_t service_seed = 77;
+
+  // The whole schedule is enqueued into a paused service and released at
+  // once, so the admission order is deterministic — no wall-clock racing.
+  // FIFO then pins the adversarial shape: the first slots go to short
+  // decodes (budget 3) with a 48-step decode right behind them, so the
+  // shorts finish and free the LOW physical KV rows while the long decode
+  // is live above them (forcing eviction + compaction), and the remaining
+  // requests admit into the running batch (mid-decode admission, slot
+  // reuse) until the queue drains.
+  std::vector<ScheduleRequest> reqs;
+  reqs.push_back({"Kim Campbell", 3, 0});     // 2 trials: slots 0, 1
+  reqs.push_back({"Brian Mulroney", 48, 0});  // 2 trials: slot 2, then later
+  for (const char* source : {"Pierre Trudeau", "John Diefenbaker",
+                             "Louis St Laurent", "Mackenzie King"}) {
+    reqs.push_back({source, 3, 0});
+  }
+
+  std::vector<std::string> oracle;
+  {
+    auto model = TinyNeuralModel(model_seed, 48);
+    ServeOptions opts = BaseOptions(service_seed);
+    opts.backends = {{4, 0.0, {}}};
+    TransformService service(model, opts);
+    oracle = RunSchedule(&service, reqs, examples);
+  }
+
+  obs::Counter* compact_moves =
+      obs::GlobalMetrics().GetCounter("nn.session.compact_moves");
+  const uint64_t moves_before = compact_moves->Value();
+
+  auto model = TinyNeuralModel(model_seed, 48);
+  ServeOptions opts = BaseOptions(service_seed);
+  opts.start_paused = true;  // enqueue everything, then release at once
+  BackendQueueOptions queue;
+  queue.continuous.enabled = true;
+  queue.continuous.max_slots = 3;  // 12 prompts over 3 slots: forced reuse
+  opts.backends = {queue};
+  TransformService service(model, opts);
+  std::vector<std::future<RowPrediction>> futures;
+  for (const ScheduleRequest& req : reqs) {
+    SubmitOptions submit;
+    submit.max_output_tokens = req.max_output_tokens;
+    auto admitted = service.Submit(req.source, examples, submit);
+    ASSERT_TRUE(admitted.ok());
+    futures.push_back(std::move(admitted.value()));
+  }
+  service.Start();
+  std::vector<std::string> got;
+  for (auto& future : futures) got.push_back(future.get().prediction);
+  service.Drain();
+
+  for (size_t r = 0; r < reqs.size(); ++r) {
+    EXPECT_EQ(got[r], oracle[r]) << "request " << r;
+  }
+  ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.backends.size(), 1u);
+  EXPECT_TRUE(stats.backends[0].continuous);
+  const uint64_t prompts =
+      static_cast<uint64_t>(reqs.size()) * 2;  // num_trials = 2
+  EXPECT_EQ(stats.backends[0].cb_admitted, prompts);
+  EXPECT_EQ(stats.backends[0].cb_evicted, prompts);
+  // More admission groups than one => prompts joined a running batch.
+  EXPECT_GE(stats.backends[0].cb_admit_groups, 2u);
+  // Short sequences finished in front of the long one, leaving KV holes the
+  // decoder compacted away.
+  EXPECT_GT(compact_moves->Value(), moves_before);
+}
+
+// ---------------------------------------------------------------------------
+// Routing: only backends that expose a TokenStreamDecoder take the
+// continuous path; simulated/beam backends silently keep micro-batching even
+// when opted in, and the mixed service stays bit-identical to the oracle.
+// ---------------------------------------------------------------------------
+
+/// A pure, thread-safe simulated model (no token-level decode loop).
+class EchoModel : public TextToTextModel {
+ public:
+  std::string name() const override { return "echo"; }
+  Result<std::string> Transform(const Prompt& prompt) override {
+    return "echo:" + prompt.source;
+  }
+  bool thread_safe() const override { return true; }
+};
+
+TEST(ServeContinuousTest, SimulatedBackendKeepsMicroBatching) {
+  const auto examples = NameExamples();
+  const auto sources = NameSources();
+  std::vector<std::shared_ptr<TextToTextModel>> models = {
+      TinyNeuralModel(321, 12), std::make_shared<EchoModel>()};
+
+  std::vector<ScheduleRequest> reqs;
+  for (const std::string& source : sources) reqs.push_back({source, 0, 0});
+
+  std::vector<std::string> oracle;
+  {
+    std::vector<std::shared_ptr<TextToTextModel>> oracle_models = {
+        TinyNeuralModel(321, 12), std::make_shared<EchoModel>()};
+    TransformService service(oracle_models, BaseOptions(55));
+    oracle = RunSchedule(&service, reqs, examples);
+  }
+
+  ServeOptions opts = BaseOptions(55);
+  BackendQueueOptions continuous_queue;
+  continuous_queue.continuous.enabled = true;
+  continuous_queue.continuous.max_slots = 4;
+  opts.backends = {continuous_queue, continuous_queue};  // both opt in
+  TransformService service(models, opts);
+  std::vector<std::string> got = RunSchedule(&service, reqs, examples);
+  for (size_t r = 0; r < reqs.size(); ++r) {
+    EXPECT_EQ(got[r], oracle[r]) << "request " << r;
+  }
+  ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_TRUE(stats.backends[0].continuous);   // neural: token-level
+  EXPECT_FALSE(stats.backends[1].continuous);  // simulated: micro-batch
+  EXPECT_GT(stats.backends[1].batches, 0u);
+}
+
+TEST(ServeContinuousTest, BeamBackendFallsBackToMicroBatching) {
+  nn::TransformerConfig cfg;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.ff_hidden = 32;
+  cfg.encoder_layers = 2;
+  cfg.decoder_layers = 1;
+  cfg.max_len = 128;
+  Rng init_rng(515);
+  auto transformer = std::make_shared<nn::Transformer>(cfg, &init_rng);
+  SerializerOptions sopts;
+  sopts.max_tokens = cfg.max_len;
+  NeuralModelOptions nopts;
+  nopts.max_output_tokens = 8;
+  nopts.beam_size = 2;  // beam pruning is not prefix-stable: no decoder
+  auto model = std::make_shared<NeuralSeq2SeqModel>(
+      transformer, Serializer(sopts), nopts);
+
+  ServeOptions opts = BaseOptions(66);
+  BackendQueueOptions queue;
+  queue.continuous.enabled = true;
+  opts.backends = {queue};
+  TransformService service(model, opts);
+  auto admitted = service.Submit("Kim Campbell", NameExamples());
+  ASSERT_TRUE(admitted.ok());
+  admitted.value().get();
+  ServiceStats stats = service.stats();
+  EXPECT_FALSE(stats.backends[0].continuous);
+  EXPECT_GT(stats.backends[0].batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The cache/dedup machinery is shared with the micro-batch path: a repeated
+// row's prompts must be served from the cache, not re-admitted.
+// ---------------------------------------------------------------------------
+TEST(ServeContinuousTest, CacheServesRepeatedRowsWithoutReadmission) {
+  auto model = TinyNeuralModel(808, 10);
+  ServeOptions opts;
+  opts.seed = 88;
+  // 3 examples, k=2 -> all C(3,2)=3 contexts enumerated per request: a
+  // repeated source reproduces its exact prompts, so the repeat must be
+  // served entirely from the result cache.
+  opts.decomposer.context_size = 2;
+  opts.decomposer.num_trials = 5;
+  const std::vector<ExamplePair> examples = {{"a", "1"}, {"b", "2"}, {"c", "3"}};
+  BackendQueueOptions queue;
+  queue.continuous.enabled = true;
+  queue.continuous.max_slots = 4;
+  opts.backends = {queue};
+  TransformService service(model, opts);
+
+  auto first = service.Submit("x", examples).value().get();
+  const uint64_t admitted_cold = service.stats().backends[0].cb_admitted;
+  EXPECT_EQ(admitted_cold, 3u);  // one decode per enumerated context
+  auto second = service.Submit("x", examples).value().get();
+  EXPECT_EQ(first.prediction, second.prediction);
+  // The repeat decoded nothing: every prompt hit the result cache.
+  EXPECT_EQ(service.stats().backends[0].cb_admitted, admitted_cold);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 3u);
+}
+
+// Invalid prompts (over-length serialization) fail identically on both
+// paths: the Transform-path error policy turns them into abstentions.
+TEST(ServeContinuousTest, OverLengthPromptAbstainsLikeOracle) {
+  const std::vector<ExamplePair> examples = {
+      {std::string(200, 'x'), std::string(200, 'y')}};
+  const std::string source(200, 'z');
+
+  auto run = [&](bool continuous) {
+    auto model = TinyNeuralModel(99, 8);
+    ServeOptions opts = BaseOptions(44);
+    // Row-budget enforcement off: the serialized prompt genuinely exceeds
+    // max_len and must be refused by the model layer.
+    BackendQueueOptions queue;
+    queue.continuous.enabled = continuous;
+    opts.backends = {queue};
+    TransformService service(model, opts);
+    return service.Submit(source, examples).value().get();
+  };
+  RowPrediction fixed = run(false);
+  RowPrediction cont = run(true);
+  EXPECT_EQ(cont.prediction, fixed.prediction);
+  EXPECT_EQ(cont.support, fixed.support);
+}
+
+// ---------------------------------------------------------------------------
+// RUN_SERIAL long-tail latency smoke (timing-tolerant): under a 95%-short /
+// 5%-long open-loop mix, continuous batching must not lose to fixed
+// micro-batching on p99 — the full perf claim is measured by exp_serve leg
+// (f); this only guards against gross regressions, and only in
+// uninstrumented builds (sanitizers distort timing far beyond the margin).
+// ---------------------------------------------------------------------------
+TEST(ServeContinuousTest, LongTailP99DoesNotRegress) {
+#ifdef DTT_UNDER_SANITIZER
+  GTEST_SKIP() << "timing assertion skipped under sanitizers";
+#else
+  const auto examples = NameExamples();
+  const int kRequests = 48;
+  const uint64_t model_seed = 606;
+
+  auto percentile = [](std::vector<double> v, double p) {
+    std::sort(v.begin(), v.end());
+    const size_t idx = static_cast<size_t>(
+        std::min<double>(static_cast<double>(v.size()) - 1.0,
+                         std::ceil(p * static_cast<double>(v.size())) - 1.0));
+    return v[idx];
+  };
+
+  auto run = [&](bool continuous) {
+    auto model = TinyNeuralModel(model_seed, 64);
+    ServeOptions opts = BaseOptions(1234);
+    opts.decomposer.num_trials = 1;
+    opts.cache.enabled = false;  // every request decodes
+    BackendQueueOptions queue;
+    queue.max_batch = 8;
+    queue.continuous.enabled = continuous;
+    queue.continuous.max_slots = 8;
+    opts.backends = {queue};
+    TransformService service(model, opts);
+
+    std::vector<double> latencies(kRequests);
+    std::vector<std::future<RowPrediction>> futures;
+    for (int r = 0; r < kRequests; ++r) {
+      // Distinct sources so nothing dedups; 1 in 20 requests decodes 16x
+      // longer than the rest (the long-tail mix).
+      const std::string source = "row-" + std::to_string(r);
+      SubmitOptions submit;
+      submit.max_output_tokens = r % 20 == 19 ? 64 : 4;
+      const auto sent = std::chrono::steady_clock::now();
+      auto admitted = service.Submit(
+          source, examples, submit, [&latencies, r, sent](const RowPrediction&) {
+            latencies[static_cast<size_t>(r)] =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - sent)
+                    .count();
+          });
+      EXPECT_TRUE(admitted.ok());
+      futures.push_back(std::move(admitted.value()));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (auto& future : futures) future.get();
+    // The convoy effect lands on the SHORT requests: under fixed batching
+    // they inherit the long decode's latency; under continuous they admit
+    // into the running batch and finish in a few steps. The longs' own
+    // latency is dominated by their decode length on both paths, so the
+    // tail assertion is over the shorts.
+    std::vector<double> shorts;
+    for (int r = 0; r < kRequests; ++r) {
+      if (r % 20 != 19) shorts.push_back(latencies[static_cast<size_t>(r)]);
+    }
+    return percentile(shorts, 0.99);
+  };
+
+  const double p99_fixed = run(false);
+  const double p99_continuous = run(true);
+  // Timing-tolerant: continuous must beat fixed on the shorts' tail latency
+  // up to a generous scheduling-noise margin.
+  EXPECT_LE(p99_continuous, p99_fixed * 1.25)
+      << "continuous short-request p99 " << p99_continuous
+      << "ms vs fixed short-request p99 " << p99_fixed << "ms";
+#endif
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dtt

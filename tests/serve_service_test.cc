@@ -110,8 +110,8 @@ TEST(ServeServiceTest, BitIdenticalToFixedBatchAcrossConfigs) {
     Rng rng(seed);
     sopts.seed = rng.Next();  // the same single draw as the fixed path
     sopts.num_threads = config.num_threads;
-    BackendQueueOptions fast_q{config.fast_batch, config.max_wait_ms};
-    BackendQueueOptions slow_q{config.slow_batch, config.max_wait_ms};
+    BackendQueueOptions fast_q{config.fast_batch, config.max_wait_ms, {}};
+    BackendQueueOptions slow_q{config.slow_batch, config.max_wait_ms, {}};
     sopts.backends = {fast_q, slow_q};
     sopts.max_pending_rows = config.max_pending;
     sopts.cache.enabled = config.cache;
